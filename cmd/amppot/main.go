@@ -1,0 +1,68 @@
+// Command amppot runs the reflection-honeypot fleet against a generated
+// attack schedule and compares its feed with the telescope's RSDoS feed —
+// the joint-feed view (≈60% spoofed / 40% reflected in Jonker et al.) that
+// frames the paper's visibility discussion (§2.1, §4.3).
+//
+// Usage:
+//
+//	amppot [-attacks N] [-honeypots N] [-pool N] [-full-visibility]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"dnsddos/internal/amppot"
+	"dnsddos/internal/rsdos"
+	"dnsddos/internal/scenario"
+	"dnsddos/internal/telescope"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("amppot: ")
+	attacks := flag.Int("attacks", 20000, "spoofed attacks over the study window")
+	honeypots := flag.Int("honeypots", 0, "override honeypot count")
+	pool := flag.Int("pool", 0, "override reflector pool size")
+	fullVis := flag.Bool("full-visibility", true, "attackers use the whole reflector pool (every attack observable)")
+	flag.Parse()
+
+	wcfg := scenario.DefaultWorldConfig()
+	wcfg.Domains = 10000
+	world := scenario.GenerateWorld(wcfg)
+	acfg := scenario.DefaultAttackConfig()
+	acfg.TotalAttacks = *attacks
+	sched := scenario.GenerateSchedule(acfg, world)
+
+	// telescope side
+	tel := telescope.NewUCSD()
+	obs := scenario.SynthesizeObs(scenario.DefaultSynthConfig(), world, sched.Sched, tel)
+	spoofedAttacks := rsdos.Infer(rsdos.DefaultConfig(), obs)
+
+	// honeypot side
+	fcfg := amppot.DefaultConfig()
+	if *honeypots > 0 {
+		fcfg.Honeypots = *honeypots
+	}
+	if *pool > 0 {
+		fcfg.ReflectorPool = *pool
+	}
+	if *fullVis {
+		fcfg.ReflectorsPerAttack = fcfg.ReflectorPool
+	}
+	fleet := amppot.NewFleet(fcfg)
+	reflected := fleet.Observe(rand.New(rand.NewPCG(1, 1)), sched.Sched)
+
+	spoofed := make([]amppot.SpoofedAttack, 0, len(spoofedAttacks))
+	for _, a := range spoofedAttacks {
+		spoofed = append(spoofed, amppot.SpoofedAttack{Victim: a.Victim, From: a.Start(), To: a.End()})
+	}
+	fc := amppot.CompareFeeds(spoofed, reflected)
+	fmt.Printf("telescope (RSDoS) attacks: %d\n", len(spoofedAttacks))
+	fmt.Printf("honeypot (reflection) attacks: %d\n", len(reflected))
+	fmt.Printf("joint view: spoofed-only %d, reflected-only %d, both (multi-vector) %d\n",
+		fc.SpoofedOnly, fc.ReflectedOnly, fc.Both)
+	fmt.Printf("spoofed share of all observed attacks: %.2f (Jonker et al.: 0.60)\n", fc.SpoofedShare())
+}

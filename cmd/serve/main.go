@@ -1,0 +1,116 @@
+// Command serve runs the authoritative DNS server on a real address,
+// serving either a generated synthetic world or a zone file — handy as a
+// local test target for dig/drill/resolvers and for demos of the live
+// measurement path.
+//
+// Usage:
+//
+//	serve [-addr 127.0.0.1:5353] [-zonefile FILE | -domains N] [-delay DUR]
+//
+// Query it with e.g.:
+//
+//	dig @127.0.0.1 -p 5353 mil.ru NS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dnsddos/internal/authserver"
+	"dnsddos/internal/scenario"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5353", "UDP+TCP listen address")
+	zonePath := flag.String("zonefile", "", "serve this RFC 1035 master file instead of a generated world")
+	domains := flag.Int("domains", 2000, "generated world size (ignored with -zonefile)")
+	delay := flag.Duration("delay", 0, "artificial per-answer delay (to exercise client timeouts)")
+	export := flag.String("export", "", "also write the served zone as a master file")
+	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	var zone *authserver.Zone
+	if *zonePath != "" {
+		f, err := os.Open(*zonePath)
+		if err != nil {
+			logger.Error("opening zone file", "err", err)
+			os.Exit(1)
+		}
+		zone, err = authserver.ReadZoneFile(f)
+		f.Close()
+		if err != nil {
+			logger.Error("parsing zone file", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("loaded zone file", "path", *zonePath, "delegations", zone.NumDelegations())
+	} else {
+		cfg := scenario.DefaultWorldConfig()
+		cfg.Domains = *domains
+		cfg.GenericProviders = 40
+		world := scenario.GenerateWorld(cfg)
+		zone = authserver.FromDB(world.DB)
+		logger.Info("generated world", "domains", len(world.DB.Domains), "nameservers", len(world.DB.Nameservers))
+	}
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			logger.Error("creating export file", "err", err)
+			os.Exit(1)
+		}
+		if err := authserver.WriteZoneFile(f, zone); err != nil {
+			logger.Error("writing zone file", "err", err)
+			os.Exit(1)
+		}
+		f.Close()
+		logger.Info("exported zone", "path", *export)
+	}
+
+	srv := authserver.NewServer(zone, logger)
+	srv.Delay = *delay
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		logger.Error("starting server", "err", err)
+		os.Exit(1)
+	}
+	fmt.Printf("authoritative DNS serving on %s (UDP+TCP)\ntry: dig @%s -p %s mil.ru NS\n",
+		bound, hostOf(bound), portOf(bound))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	logger.Info("shutting down")
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		logger.Warn("close timed out")
+	}
+}
+
+func hostOf(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}
+
+func portOf(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[i+1:]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,81 @@
+// Command telescope runs the RSDoS inference over a pcap capture of darknet
+// traffic (as written by cmd/attacksim or any LINKTYPE_RAW pcap) and writes
+// the inferred attack feed as CSV — the packet-level path of the pipeline,
+// equivalent to CAIDA curating raw UCSD-NT data into the RSDoS feed.
+//
+// Usage:
+//
+//	telescope -in capture.pcap [-out feed.csv] [-min-packets N] [-min-slash16 N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dnsddos/internal/packet"
+	"dnsddos/internal/pcap"
+	"dnsddos/internal/rsdos"
+	"dnsddos/internal/telescope"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("telescope: ")
+	in := flag.String("in", "", "input pcap file (required)")
+	out := flag.String("out", "", "output feed CSV (default stdout)")
+	cfg := rsdos.DefaultConfig()
+	flag.Int64Var(&cfg.MinPackets, "min-packets", cfg.MinPackets, "min backscatter packets per window")
+	flag.IntVar(&cfg.MinSlash16, "min-slash16", cfg.MinSlash16, "min /16 spread per window")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tel := telescope.NewUCSD()
+	agg := rsdos.NewPacketAggregator(tel)
+	var n, bad int64
+	for {
+		rec, err := r.ReadRecord()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatalf("reading %s: %v", *in, err)
+		}
+		p, err := packet.Decode(rec.Data)
+		if err != nil {
+			bad++
+			continue
+		}
+		agg.Add(rec.Time, p)
+		n++
+	}
+	attacks := rsdos.Infer(cfg, agg.Finish())
+	fmt.Fprintf(os.Stderr, "telescope: %d packets (%d undecodable), %d inferred attacks\n", n, bad, len(attacks))
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := rsdos.WriteFeed(w, attacks); err != nil {
+		log.Fatalf("writing feed: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+// Command worldgen generates a synthetic DNS world and writes its routing
+// metadata (the CAIDA-pfx2as-style prefix-to-AS file) plus a summary of the
+// generated ecosystem.
+//
+// Usage:
+//
+//	worldgen [-domains N] [-providers N] [-seed S] [-pfx2as FILE] [-zone FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dnsddos/internal/astopo"
+	"dnsddos/internal/authserver"
+	"dnsddos/internal/dnsdb"
+	"dnsddos/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("worldgen: ")
+	cfg := scenario.DefaultWorldConfig()
+	flag.IntVar(&cfg.Domains, "domains", cfg.Domains, "registered domains to generate")
+	flag.IntVar(&cfg.GenericProviders, "providers", cfg.GenericProviders, "generic (long-tail) providers")
+	seed := flag.Uint64("seed", cfg.Seed, "world seed")
+	pfxOut := flag.String("pfx2as", "", "write prefix-to-AS mapping to this file")
+	zoneOut := flag.String("zone", "", "write the world's delegations as an RFC 1035 master file")
+	flag.Parse()
+	cfg.Seed = *seed
+
+	w := scenario.GenerateWorld(cfg)
+	db := w.DB
+
+	counts := map[dnsdb.Deployment]int{}
+	for _, p := range db.Providers {
+		counts[p.Deployment]++
+	}
+	fmt.Printf("world: %d domains, %d providers, %d nameservers, %d NS groups\n",
+		len(db.Domains), len(db.Providers), len(db.Nameservers), len(w.Groups))
+	fmt.Printf("deployments: %d unicast, %d anycast, %d partial-anycast providers\n",
+		counts[dnsdb.DeployUnicast], counts[dnsdb.DeployAnycast], counts[dnsdb.DeployPartialAnycast])
+	fmt.Printf("anycast census: %d snapshots, latest flags %d /24s\n",
+		len(w.Census.Snapshots()), w.Census.Snapshots()[len(w.Census.Snapshots())-1].Len())
+	fmt.Printf("routing table: %d announced prefixes\n", w.Topo.Len())
+
+	if *pfxOut != "" {
+		f, err := os.Create(*pfxOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := astopo.WriteEntries(f, w.Entries, w.Orgs); err != nil {
+			log.Fatalf("writing pfx2as: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *pfxOut)
+	}
+	if *zoneOut != "" {
+		f, err := os.Create(*zoneOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := authserver.WriteZoneFile(f, authserver.FromDB(db)); err != nil {
+			log.Fatalf("writing zone file: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *zoneOut)
+	}
+}

@@ -1,0 +1,193 @@
+package dnsddos_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"dnsddos/internal/amppot"
+	"dnsddos/internal/attacksim"
+	"dnsddos/internal/cache"
+	"dnsddos/internal/dnsdb"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/packet"
+	"dnsddos/internal/simnet"
+)
+
+// Extension benchmarks cover the paper's discussion points that are not
+// tables or figures: the caching counterfactual (§2.2/footnote 1, the
+// "When the Dike Breaks" corroboration), the AmpPot feed comparison (§4.3's
+// 60/40 spoofed-vs-reflected statistic), and multi-vantage catchment
+// measurement (§9 future work).
+
+// BenchmarkExtension_CacheEfficacy compares empty-cache (OpenINTEL-style)
+// and warm-cache (end-user-resolver-style) failure rates for domains under
+// the March TransIP attack.
+func BenchmarkExtension_CacheEfficacy(b *testing.B) {
+	s := benchStudy(b)
+	cs := s.Schedule.CaseStudies
+	// domains hosted on the TransIP NSSet
+	ns, ok := s.World.DB.NameserverByAddr(cs.TransIPNS[0])
+	if !ok {
+		b.Fatal("TransIP NS missing")
+	}
+	domains := s.World.DB.DomainsOf(ns.ID)
+	if len(domains) > 300 {
+		domains = domains[:300]
+	}
+	during := cs.TransIPMarStart.Add(90 * time.Minute)
+
+	run := func(ttl time.Duration, warm bool) (fails int) {
+		rng := rand.New(rand.NewPCG(77, uint64(ttl)))
+		cr := cache.NewResolver(s.Resolver, 0, ttl)
+		if warm {
+			for _, d := range domains {
+				cr.Resolve(rng, d, during.Add(-3*time.Hour))
+			}
+		}
+		for _, d := range domains {
+			if o := cr.Resolve(rng, d, during); o.Status != nsset.StatusOK {
+				fails++
+			}
+		}
+		return fails
+	}
+	printReport("ext-cache", func() {
+		cold := run(4*time.Hour, false)
+		warmLong := run(4*time.Hour, true)
+		warmCDN := run(time.Minute, true)
+		fmt.Printf("# cache efficacy during TransIP March attack (%d domains): empty-cache fails=%d, warm 4h-TTL fails=%d, warm 60s-TTL fails=%d\n",
+			len(domains), cold, warmLong, warmCDN)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run(4*time.Hour, true)
+	}
+}
+
+// BenchmarkExtension_FeedComparison reproduces the Jonker et al. joint-feed
+// statistic: ≈60% of attacks are telescope-visible (randomly spoofed), ≈40%
+// only visible to reflection honeypots.
+func BenchmarkExtension_FeedComparison(b *testing.B) {
+	s := benchStudy(b)
+	fleet := amppot.NewFleet(ampCfgFullVisibility())
+	rng := rand.New(rand.NewPCG(88, 88))
+	reflected := fleet.Observe(rng, s.Schedule.Sched)
+	spoofed := make([]amppot.SpoofedAttack, 0, len(s.Attacks))
+	for _, a := range s.Attacks {
+		spoofed = append(spoofed, amppot.SpoofedAttack{Victim: a.Victim, From: a.Start(), To: a.End()})
+	}
+	fc := amppot.CompareFeeds(spoofed, reflected)
+	printReport("ext-feeds", func() {
+		fmt.Printf("# joint feeds: spoofed-only=%d reflected-only=%d both(multi-vector)=%d spoofed_share=%.2f (Jonker et al.: 0.60)\n",
+			fc.SpoofedOnly, fc.ReflectedOnly, fc.Both, fc.SpoofedShare())
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = amppot.CompareFeeds(spoofed, reflected)
+	}
+}
+
+// ampCfgFullVisibility lets the honeypots see every reflection attack so
+// the share statistic reflects the schedule, not fleet sampling.
+func ampCfgFullVisibility() amppot.Config {
+	cfg := amppot.DefaultConfig()
+	cfg.ReflectorsPerAttack = cfg.ReflectorPool
+	return cfg
+}
+
+// BenchmarkExtension_MultiVantage quantifies catchment masking (§4.3
+// limitation 4, §9 future work) with a controlled experiment: a 16-site
+// anycast nameserver under a flood that saturates its hottest sites while
+// leaving cold sites comfortable. A vantage whose catchment lands on a cold
+// site reports a healthy service; one landing on a hot site sees failures —
+// so any single vantage under-observes the attack.
+func BenchmarkExtension_MultiVantage(b *testing.B) {
+	db := dnsdb.New()
+	pid := db.AddProvider(dnsdb.Provider{Name: "AnycastRegional"})
+	id, err := db.AddNameserver(dnsdb.Nameserver{
+		Host: "ns1.regional.example", Addr: 0x52000001, Provider: pid,
+		Anycast: true, Sites: 16, CapacityPPS: 5e4, BaseRTT: 8 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.AddDomain(dnsdb.Domain{Name: "r.example", NS: []dnsdb.NameserverID{id}})
+	db.Freeze()
+	atkStart := time.Date(2021, 6, 1, 12, 0, 0, 0, time.UTC)
+	sched := attacksim.NewSchedule([]attacksim.Spec{{
+		Target: db.Nameservers[id].Addr, Vector: attacksim.VectorRandomSpoofed,
+		Proto: packet.ProtoTCP, Ports: []uint16{53},
+		Start: atkStart, End: atkStart.Add(time.Hour), PPS: 1.2e6,
+	}})
+	net := simnet.New(simnet.DefaultParams(), db, sched)
+	mid := atkStart.Add(30 * time.Minute)
+	measure := func(seed uint64) float64 {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		v := net.WithVantage(simnet.Vantage{Name: fmt.Sprintf("v%d", seed), RTTScale: 1, CatchmentSeed: seed})
+		var impaired int
+		for i := 0; i < 200; i++ {
+			st, rtt := v.Query(rng, id, mid)
+			if st != nsset.StatusOK || rtt > 3*db.Nameservers[id].BaseRTT {
+				impaired++
+			}
+		}
+		return float64(impaired) / 200
+	}
+	printReport("ext-vantage", func() {
+		rates := make([]float64, 12)
+		best, worst := 1.0, 0.0
+		for seed := range rates {
+			rates[seed] = measure(uint64(seed))
+			if rates[seed] < best {
+				best = rates[seed]
+			}
+			if rates[seed] > worst {
+				worst = rates[seed]
+			}
+		}
+		fmt.Printf("# multi-vantage catchment: 12 vantages against one attacked 16-site anycast NS, impairment best=%.2f worst=%.2f (single NL-style vantage sees only its own catchment; per-vantage: %v)\n",
+			best, worst, rates)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = measure(uint64(i % 12))
+	}
+}
+
+// BenchmarkExtension_PopularityCaching quantifies §6.3.1's caching remark:
+// during the March TransIP attack, a resolver's user population sees
+// failures concentrated on unpopular domains, because popular ones stay
+// warm in cache.
+func BenchmarkExtension_PopularityCaching(b *testing.B) {
+	s := benchStudy(b)
+	cs := s.Schedule.CaseStudies
+	ns, ok := s.World.DB.NameserverByAddr(cs.TransIPNS[0])
+	if !ok {
+		b.Fatal("TransIP NS missing")
+	}
+	domains := s.World.DB.DomainsOf(ns.ID)
+	cfg := cache.DefaultPopulationConfig()
+	cfg.QueryRate = 3
+	cfg.TTL = 2 * time.Hour
+	run := func() []cache.PopularityOutcome {
+		cr := cache.NewResolver(s.Resolver, 0, cfg.TTL)
+		return cache.SimulatePopulation(cfg, cr, domains,
+			cs.TransIPMarStart.Add(-5*time.Hour),
+			cs.TransIPMarStart,
+			cs.TransIPMarStart.Add(45*time.Minute))
+	}
+	printReport("ext-popularity", func() {
+		outcomes := run()
+		fmt.Print("# popularity vs caching during TransIP March attack (failure rate by popularity decile):")
+		for _, o := range outcomes {
+			fmt.Printf(" d%d=%.2f", o.Decile, o.FailureRate())
+		}
+		fmt.Println()
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run()
+	}
+}

@@ -1,0 +1,3 @@
+module dnsddos
+
+go 1.22

@@ -1,0 +1,76 @@
+// Package anycast models the quarterly anycast census (MAnycast², §3.3).
+// The paper matches authoritative-NS /24s against /24s the census flags as
+// anycast; the census is a lower bound (detection can miss deployments), so
+// the snapshot generator exposes a recall knob.
+package anycast
+
+import (
+	"sort"
+	"time"
+
+	"dnsddos/internal/netx"
+)
+
+// Snapshot is one quarterly census: the set of /24 prefixes detected as
+// anycast, taken at a point in time.
+type Snapshot struct {
+	Taken    time.Time
+	prefixes map[netx.Prefix]struct{}
+}
+
+// NewSnapshot builds a snapshot from detected anycast /24s. Prefixes that
+// are not /24s are normalized to the /24 of their network address, matching
+// the paper's matching granularity.
+func NewSnapshot(taken time.Time, slash24s []netx.Prefix) *Snapshot {
+	s := &Snapshot{Taken: taken, prefixes: make(map[netx.Prefix]struct{}, len(slash24s))}
+	for _, p := range slash24s {
+		s.prefixes[p.Addr.Slash24()] = struct{}{}
+	}
+	return s
+}
+
+// IsAnycast reports whether addr's /24 was detected as anycast.
+func (s *Snapshot) IsAnycast(addr netx.Addr) bool {
+	_, ok := s.prefixes[addr.Slash24()]
+	return ok
+}
+
+// Len returns the number of anycast /24s in the snapshot.
+func (s *Snapshot) Len() int { return len(s.prefixes) }
+
+// Census is the ordered series of quarterly snapshots (January 2021 through
+// January 2022 in the paper, §3.3).
+type Census struct {
+	snapshots []*Snapshot // sorted by Taken
+}
+
+// NewCensus builds a census from snapshots (sorted internally).
+func NewCensus(snaps ...*Snapshot) *Census {
+	c := &Census{snapshots: make([]*Snapshot, len(snaps))}
+	copy(c.snapshots, snaps)
+	sort.Slice(c.snapshots, func(i, j int) bool { return c.snapshots[i].Taken.Before(c.snapshots[j].Taken) })
+	return c
+}
+
+// At returns the snapshot in effect at time t: the latest snapshot taken at
+// or before t, or the earliest snapshot when t precedes all of them (the
+// paper aligns its analysis interval with census availability, §4).
+func (c *Census) At(t time.Time) *Snapshot {
+	if len(c.snapshots) == 0 {
+		return nil
+	}
+	i := sort.Search(len(c.snapshots), func(i int) bool { return c.snapshots[i].Taken.After(t) })
+	if i == 0 {
+		return c.snapshots[0]
+	}
+	return c.snapshots[i-1]
+}
+
+// IsAnycastAt reports whether addr's /24 is flagged anycast at time t.
+func (c *Census) IsAnycastAt(addr netx.Addr, t time.Time) bool {
+	s := c.At(t)
+	return s != nil && s.IsAnycast(addr)
+}
+
+// Snapshots returns the snapshots in time order (shared slice; read-only).
+func (c *Census) Snapshots() []*Snapshot { return c.snapshots }

@@ -1,0 +1,84 @@
+package anycast
+
+import (
+	"testing"
+	"time"
+
+	"dnsddos/internal/netx"
+)
+
+func p24(s string) netx.Prefix { return netx.MustParsePrefix(s) }
+
+func TestSnapshotMatching(t *testing.T) {
+	s := NewSnapshot(time.Now(), []netx.Prefix{p24("192.0.2.0/24")})
+	if !s.IsAnycast(netx.MustParseAddr("192.0.2.77")) {
+		t.Error("address in flagged /24 should match")
+	}
+	if s.IsAnycast(netx.MustParseAddr("192.0.3.1")) {
+		t.Error("neighboring /24 should not match")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSnapshotNormalizesTo24(t *testing.T) {
+	// a /23 input is normalized to the /24 of its network address,
+	// matching the paper's /24 matching granularity
+	s := NewSnapshot(time.Now(), []netx.Prefix{netx.MustParsePrefix("10.0.0.0/23")})
+	if !s.IsAnycast(netx.MustParseAddr("10.0.0.5")) {
+		t.Error("first /24 should match")
+	}
+	if s.IsAnycast(netx.MustParseAddr("10.0.1.5")) {
+		t.Error("second half of /23 is not flagged after normalization")
+	}
+}
+
+func TestCensusAtSelectsLatestBefore(t *testing.T) {
+	q1 := time.Date(2021, 1, 15, 0, 0, 0, 0, time.UTC)
+	q2 := time.Date(2021, 4, 15, 0, 0, 0, 0, time.UTC)
+	s1 := NewSnapshot(q1, []netx.Prefix{p24("192.0.2.0/24")})
+	s2 := NewSnapshot(q2, []netx.Prefix{p24("198.51.100.0/24")})
+	c := NewCensus(s2, s1) // out of order on purpose
+
+	if got := c.At(q1.Add(24 * time.Hour)); got != s1 {
+		t.Error("between q1 and q2 should use q1")
+	}
+	if got := c.At(q2); got != s2 {
+		t.Error("exactly at q2 should use q2")
+	}
+	if got := c.At(q2.AddDate(1, 0, 0)); got != s2 {
+		t.Error("after the last snapshot should use the last")
+	}
+	// before the first snapshot: earliest applies (analysis interval is
+	// aligned with census availability, §4)
+	if got := c.At(q1.AddDate(0, -2, 0)); got != s1 {
+		t.Error("before the first snapshot should use the first")
+	}
+}
+
+func TestIsAnycastAtTransitions(t *testing.T) {
+	q1 := time.Date(2021, 1, 15, 0, 0, 0, 0, time.UTC)
+	q2 := time.Date(2021, 4, 15, 0, 0, 0, 0, time.UTC)
+	addr := netx.MustParseAddr("192.0.2.1")
+	c := NewCensus(
+		NewSnapshot(q1, nil),
+		NewSnapshot(q2, []netx.Prefix{p24("192.0.2.0/24")}),
+	)
+	if c.IsAnycastAt(addr, q1.Add(time.Hour)) {
+		t.Error("not yet detected in q1")
+	}
+	if !c.IsAnycastAt(addr, q2.Add(time.Hour)) {
+		t.Error("detected from q2")
+	}
+}
+
+func TestEmptyCensus(t *testing.T) {
+	c := NewCensus()
+	if c.At(time.Now()) != nil {
+		t.Error("empty census has no snapshot")
+	}
+	if c.IsAnycastAt(netx.MustParseAddr("1.1.1.1"), time.Now()) {
+		t.Error("empty census flags nothing")
+	}
+}

@@ -1,0 +1,39 @@
+package astopo
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dnsddos/internal/netx"
+)
+
+func benchTable(n int) *Table {
+	rng := rand.New(rand.NewPCG(1, 1))
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		bits := 8 + rng.IntN(17)
+		addr := netx.Addr(rng.Uint32()) & (netx.Prefix{Bits: bits}).Mask()
+		b.Announce(netx.Prefix{Addr: addr, Bits: bits}, ASN(rng.Uint32N(70000)))
+	}
+	return b.Build()
+}
+
+func BenchmarkLookup100kPrefixes(b *testing.B) {
+	t := benchTable(100_000)
+	rng := rand.New(rand.NewPCG(2, 2))
+	addrs := make([]netx.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = netx.Addr(rng.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkBuild10kPrefixes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = benchTable(10_000)
+	}
+}

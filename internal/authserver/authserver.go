@@ -1,0 +1,343 @@
+// Package authserver is a real authoritative DNS server speaking the wire
+// format of internal/dnswire over UDP and TCP sockets. It serves the NS and
+// A records of a dnsdb world, giving the reproduction a genuine network
+// data path for integration tests and the livedns example: the same
+// explicit NS queries OpenINTEL sends (§3.2) travel over actual sockets.
+package authserver
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"dnsddos/internal/dnsdb"
+	"dnsddos/internal/dnswire"
+	"dnsddos/internal/netx"
+)
+
+// Zone is the record store the server answers from.
+type Zone struct {
+	// ns maps canonical domain name → NS host names.
+	ns map[string][]string
+	// a maps canonical host name → IPv4 addresses.
+	a map[string][]netx.Addr
+	// soaMName/soaRName name the zone authority for negative answers.
+	soaMName string
+	soaRName string
+	ttl      uint32
+}
+
+// NewZone builds an empty zone.
+func NewZone() *Zone {
+	return &Zone{
+		ns:       make(map[string][]string),
+		a:        make(map[string][]netx.Addr),
+		soaMName: "ns.invalid",
+		soaRName: "hostmaster.invalid",
+		ttl:      300,
+	}
+}
+
+// AddNS registers an NS record.
+func (z *Zone) AddNS(domain, nsHost string) {
+	d := dnswire.CanonicalName(domain)
+	z.ns[d] = append(z.ns[d], dnswire.CanonicalName(nsHost))
+}
+
+// AddA registers an A record.
+func (z *Zone) AddA(host string, addr netx.Addr) {
+	h := dnswire.CanonicalName(host)
+	z.a[h] = append(z.a[h], addr)
+}
+
+// FromDB loads every domain's NS records (and nameserver glue A records)
+// from a world database.
+func FromDB(db *dnsdb.DB) *Zone {
+	z := NewZone()
+	for i := range db.Nameservers {
+		ns := &db.Nameservers[i]
+		z.AddA(ns.Host, ns.Addr)
+	}
+	for i := range db.Domains {
+		d := &db.Domains[i]
+		for _, id := range d.NS {
+			z.AddNS(d.Name, db.Nameservers[id].Host)
+		}
+	}
+	return z
+}
+
+// Answer builds the response message for one question.
+func (z *Zone) Answer(q dnswire.Question) *dnswire.Message {
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			Response:      true,
+			Authoritative: true,
+		},
+		Questions: []dnswire.Question{q},
+	}
+	name := dnswire.CanonicalName(q.Name)
+	if q.Class != dnswire.ClassIN {
+		resp.Header.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	_, known := z.ns[name]
+	if !known {
+		_, known = z.a[name]
+	}
+	switch q.Type {
+	case dnswire.TypeNS:
+		hosts := z.ns[name]
+		for _, h := range hosts {
+			resp.Answers = append(resp.Answers, dnswire.RR{
+				Name: name, Type: dnswire.TypeNS, Class: dnswire.ClassIN, TTL: z.ttl, NS: h,
+			})
+			for _, addr := range z.a[h] {
+				resp.Additional = append(resp.Additional, dnswire.RR{
+					Name: h, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: z.ttl, A: addr,
+				})
+			}
+		}
+	case dnswire.TypeA:
+		for _, addr := range z.a[name] {
+			resp.Answers = append(resp.Answers, dnswire.RR{
+				Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: z.ttl, A: addr,
+			})
+		}
+	}
+	if len(resp.Answers) == 0 {
+		if !known {
+			resp.Header.RCode = dnswire.RCodeNXDomain
+		}
+		resp.Authority = append(resp.Authority, dnswire.RR{
+			Name: "", Type: dnswire.TypeSOA, Class: dnswire.ClassIN, TTL: z.ttl,
+			SOA: &dnswire.SOAData{MName: z.soaMName, RName: z.soaRName, Serial: 1, Refresh: 3600, Retry: 600, Expire: 86400, Minimum: z.ttl},
+		})
+	}
+	return resp
+}
+
+// Server serves a Zone over UDP and TCP.
+type Server struct {
+	zone *Zone
+	log  *slog.Logger
+
+	mu      sync.Mutex
+	udp     *net.UDPConn
+	tcp     net.Listener
+	wg      sync.WaitGroup
+	started bool
+	// Delay artificially delays every answer; tests use it to exercise
+	// resolver timeout handling over real sockets.
+	Delay time.Duration
+}
+
+// NewServer builds a server for the zone. logger may be nil.
+func NewServer(zone *Zone, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Server{zone: zone, log: logger}
+}
+
+// Start binds UDP and TCP on addr ("127.0.0.1:0" for tests) and serves
+// until Close. It returns the bound UDP address.
+func (s *Server) Start(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return "", errors.New("authserver: already started")
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return "", err
+	}
+	uc, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return "", err
+	}
+	// bind TCP on the same port the UDP socket got
+	tl, err := net.Listen("tcp", uc.LocalAddr().String())
+	if err != nil {
+		uc.Close()
+		return "", err
+	}
+	s.udp, s.tcp, s.started = uc, tl, true
+	s.wg.Add(2)
+	go s.serveUDP(uc)
+	go s.serveTCP(tl)
+	return uc.LocalAddr().String(), nil
+}
+
+func (s *Server) serveUDP(conn *net.UDPConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, peer, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		resp, err := s.handleUDP(buf[:n])
+		if err != nil {
+			s.log.Debug("authserver: bad query", "peer", peer, "err", err)
+			continue
+		}
+		if s.Delay > 0 {
+			time.Sleep(s.Delay)
+		}
+		if _, err := conn.WriteToUDP(resp, peer); err != nil {
+			s.log.Debug("authserver: udp write", "peer", peer, "err", err)
+		}
+	}
+}
+
+// handleUDP answers one UDP query, truncating responses that exceed the
+// client's UDP payload budget: the classic 512 bytes, or the size an EDNS
+// OPT record advertises (RFC 6891).
+func (s *Server) handleUDP(wire []byte) ([]byte, error) {
+	resp, err := s.handle(wire)
+	if err != nil {
+		return nil, err
+	}
+	q, err := dnswire.Decode(wire)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) <= q.MaxUDPPayload() {
+		return resp, nil
+	}
+	// re-encode header-and-question only, with TC set
+	trunc := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               q.Header.ID,
+			Response:         true,
+			Authoritative:    true,
+			Truncated:        true,
+			RecursionDesired: q.Header.RecursionDesired,
+		},
+		Questions: q.Questions,
+	}
+	if e, ok := q.EDNS(); ok {
+		trunc.AttachEDNS(dnswire.EDNS{UDPPayload: e.UDPPayload})
+	}
+	return dnswire.Encode(trunc)
+}
+
+func (s *Server) serveTCP(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer c.Close()
+			s.serveTCPConn(c)
+		}()
+	}
+}
+
+// serveTCPConn handles length-prefixed DNS over one TCP connection
+// (RFC 1035 §4.2.2).
+func (s *Server) serveTCPConn(c net.Conn) {
+	for {
+		if err := c.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+			return
+		}
+		var lenb [2]byte
+		if _, err := io.ReadFull(c, lenb[:]); err != nil {
+			return
+		}
+		msgLen := binary.BigEndian.Uint16(lenb[:])
+		msg := make([]byte, msgLen)
+		if _, err := io.ReadFull(c, msg); err != nil {
+			return
+		}
+		resp, err := s.handle(msg)
+		if err != nil {
+			return
+		}
+		if s.Delay > 0 {
+			time.Sleep(s.Delay)
+		}
+		out := make([]byte, 2+len(resp))
+		binary.BigEndian.PutUint16(out, uint16(len(resp)))
+		copy(out[2:], resp)
+		if _, err := c.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(wire []byte) ([]byte, error) {
+	q, err := dnswire.Decode(wire)
+	if err != nil {
+		return nil, err
+	}
+	if q.Header.Response || len(q.Questions) != 1 {
+		return nil, fmt.Errorf("authserver: not a single-question query")
+	}
+	resp := s.zone.Answer(q.Questions[0])
+	resp.Header.ID = q.Header.ID
+	resp.Header.RecursionDesired = q.Header.RecursionDesired
+	return dnswire.Encode(resp)
+}
+
+// Close stops the listeners and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil
+	}
+	s.udp.Close()
+	s.tcp.Close()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// QueryTCP issues one length-prefixed DNS query over TCP, for tests of the
+// TCP path (DNS-over-TCP is the dominant attack protocol in §6.2, and a
+// real service on authoritative servers).
+func QueryTCP(ctx context.Context, addr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			return nil, err
+		}
+	}
+	q := dnswire.NewQuery(0x5544, name, qtype)
+	wire, err := dnswire.Encode(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(out, uint16(len(wire)))
+	copy(out[2:], wire)
+	if _, err := conn.Write(out); err != nil {
+		return nil, err
+	}
+	var lenb [2]byte
+	if _, err := io.ReadFull(conn, lenb[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, binary.BigEndian.Uint16(lenb[:]))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	return dnswire.Decode(buf)
+}

@@ -1,0 +1,163 @@
+package authserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dnsddos/internal/dnswire"
+	"dnsddos/internal/netx"
+)
+
+// zonefile.go reads and writes a practical subset of the RFC 1035 master
+// file format — enough to export a generated world's delegations and load
+// hand-written zones into the server: $TTL and $ORIGIN directives, NS and
+// A records, comments, and relative names.
+
+// WriteZoneFile serializes the zone's records as a master file.
+func WriteZoneFile(w io.Writer, z *Zone) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "$TTL %d\n", z.ttl); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(z.ns))
+	for n := range z.ns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, host := range z.ns[n] {
+			if _, err := fmt.Fprintf(bw, "%s.\tIN\tNS\t%s.\n", n, host); err != nil {
+				return err
+			}
+		}
+	}
+	hosts := make([]string, 0, len(z.a))
+	for h := range z.a {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		for _, addr := range z.a[h] {
+			if _, err := fmt.Fprintf(bw, "%s.\tIN\tA\t%s\n", h, addr); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadZoneFile parses a master file into a Zone. Supported: $TTL, $ORIGIN,
+// blank lines, ';' comments, optional per-record TTL and class fields, NS
+// and A records; names without a trailing dot are relative to $ORIGIN.
+func ReadZoneFile(r io.Reader) (*Zone, error) {
+	z := NewZone()
+	origin := ""
+	sc := bufio.NewScanner(r)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "$TTL":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("zonefile: line %d: $TTL wants one argument", ln)
+			}
+			ttl, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("zonefile: line %d: %w", ln, err)
+			}
+			z.ttl = uint32(ttl)
+			continue
+		case "$ORIGIN":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("zonefile: line %d: $ORIGIN wants one argument", ln)
+			}
+			origin = dnswire.CanonicalName(fields[1])
+			continue
+		}
+		if err := parseRecord(z, origin, fields, ln); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// parseRecord handles "<name> [ttl] [class] <type> <rdata>".
+func parseRecord(z *Zone, origin string, fields []string, ln int) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("zonefile: line %d: too few fields", ln)
+	}
+	name, err := absName(fields[0], origin, ln)
+	if err != nil {
+		return err
+	}
+	rest := fields[1:]
+	// optional TTL
+	if _, errTTL := strconv.ParseUint(rest[0], 10, 32); errTTL == nil {
+		rest = rest[1:]
+	}
+	// optional class
+	if len(rest) > 0 && strings.EqualFold(rest[0], "IN") {
+		rest = rest[1:]
+	}
+	if len(rest) < 2 {
+		return fmt.Errorf("zonefile: line %d: missing type or rdata", ln)
+	}
+	typ, rdata := strings.ToUpper(rest[0]), rest[1]
+	switch typ {
+	case "NS":
+		host, err := absName(rdata, origin, ln)
+		if err != nil {
+			return err
+		}
+		z.AddNS(name, host)
+	case "A":
+		addr, err := netx.ParseAddr(rdata)
+		if err != nil {
+			return fmt.Errorf("zonefile: line %d: %w", ln, err)
+		}
+		z.AddA(name, addr)
+	case "SOA", "TXT", "AAAA", "MX", "CNAME":
+		// tolerated but not served
+	default:
+		return fmt.Errorf("zonefile: line %d: unsupported record type %q", ln, typ)
+	}
+	return nil
+}
+
+// absName resolves a possibly relative owner name against $ORIGIN.
+func absName(name, origin string, ln int) (string, error) {
+	if name == "@" {
+		if origin == "" {
+			return "", fmt.Errorf("zonefile: line %d: @ without $ORIGIN", ln)
+		}
+		return origin, nil
+	}
+	if strings.HasSuffix(name, ".") {
+		return dnswire.CanonicalName(name), nil
+	}
+	if origin == "" {
+		return "", fmt.Errorf("zonefile: line %d: relative name %q without $ORIGIN", ln, name)
+	}
+	return dnswire.CanonicalName(name) + "." + origin, nil
+}
+
+// TTL returns the zone's answer TTL (exposed for tests and tooling).
+func (z *Zone) TTL() uint32 { return z.ttl }
+
+// NumDelegations returns the number of delegated names in the zone.
+func (z *Zone) NumDelegations() int { return len(z.ns) }

@@ -1,0 +1,125 @@
+package authserver
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsddos/internal/dnswire"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/resolver"
+)
+
+func TestZoneFileRoundTrip(t *testing.T) {
+	z := NewZone()
+	z.AddNS("example.nl", "ns1.dns.example")
+	z.AddNS("example.nl", "ns2.dns.example")
+	z.AddA("ns1.dns.example", netx.MustParseAddr("192.0.2.1"))
+	z.AddA("ns2.dns.example", netx.MustParseAddr("192.0.2.2"))
+	var buf bytes.Buffer
+	if err := WriteZoneFile(&buf, z); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadZoneFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := back.Answer(dnswire.Question{Name: "example.nl", Type: dnswire.TypeNS, Class: dnswire.ClassIN})
+	if len(resp.Answers) != 2 || len(resp.Additional) != 2 {
+		t.Errorf("after round trip: %d answers, %d glue", len(resp.Answers), len(resp.Additional))
+	}
+}
+
+func TestReadZoneFileSyntax(t *testing.T) {
+	in := `
+$TTL 600
+$ORIGIN example.nl.
+@            IN NS ns1.dns.example.
+@       3600 IN NS ns2.dns.example.   ; secondary
+www          IN A  203.0.113.80
+ns1.dns.example. 300 IN A 192.0.2.1
+; a full-line comment
+sub          NS ns1.dns.example.
+`
+	z, err := ReadZoneFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.TTL() != 600 {
+		t.Errorf("TTL = %d", z.TTL())
+	}
+	resp := z.Answer(dnswire.Question{Name: "example.nl", Type: dnswire.TypeNS, Class: dnswire.ClassIN})
+	if len(resp.Answers) != 2 {
+		t.Errorf("apex NS answers = %d", len(resp.Answers))
+	}
+	respSub := z.Answer(dnswire.Question{Name: "sub.example.nl", Type: dnswire.TypeNS, Class: dnswire.ClassIN})
+	if len(respSub.Answers) != 1 {
+		t.Errorf("sub NS answers = %d", len(respSub.Answers))
+	}
+	respA := z.Answer(dnswire.Question{Name: "www.example.nl", Type: dnswire.TypeA, Class: dnswire.ClassIN})
+	if len(respA.Answers) != 1 || respA.Answers[0].A != netx.MustParseAddr("203.0.113.80") {
+		t.Errorf("A answer = %+v", respA.Answers)
+	}
+	if z.NumDelegations() != 2 {
+		t.Errorf("delegations = %d", z.NumDelegations())
+	}
+}
+
+func TestReadZoneFileErrors(t *testing.T) {
+	cases := []string{
+		"www IN A 203.0.113.80\n",       // relative name without $ORIGIN
+		"@ IN NS ns1.example.\n",        // @ without $ORIGIN
+		"$TTL\n",                        // missing argument
+		"$ORIGIN a.example. extra\n",    // too many arguments
+		"a.example. IN A not-an-ip\n",   // bad address
+		"a.example. IN WKS something\n", // unsupported type
+		"a.example. IN\n",               // missing rdata
+	}
+	for _, in := range cases {
+		if _, err := ReadZoneFile(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestReadZoneFileToleratesUnservedTypes(t *testing.T) {
+	in := "$ORIGIN example.\n@ IN SOA ns1\n@ IN TXT hello\n@ IN NS ns1.example.\n"
+	z, err := ReadZoneFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NumDelegations() != 1 {
+		t.Errorf("delegations = %d", z.NumDelegations())
+	}
+}
+
+func TestZoneFileServedOverSockets(t *testing.T) {
+	in := `$TTL 120
+$ORIGIN zone.test.
+@   IN NS ns1.zone.test.
+ns1 IN A 192.0.2.10
+`
+	z, err := ReadZoneFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(z, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := &resolver.UDPClient{Timeout: 2 * time.Second}
+	m, _, err := client.Query(context.Background(), addr, "zone.test", dnswire.TypeNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].NS != "ns1.zone.test" {
+		t.Errorf("answers = %+v", m.Answers)
+	}
+	if m.Answers[0].TTL != 120 {
+		t.Errorf("TTL = %d", m.Answers[0].TTL)
+	}
+}

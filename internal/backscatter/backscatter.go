@@ -1,0 +1,110 @@
+// Package backscatter models how a victim of a randomly spoofed attack
+// answers the spoofed packets, producing the Internet Background Radiation
+// component the telescope captures (§3.1).
+//
+// A SYN to an open TCP port elicits a SYN-ACK; to a closed port, an RST. A
+// UDP datagram to a closed port elicits an ICMP port-unreachable. Victims
+// under overload answer only a fraction of attack packets — the mechanism
+// behind §6.5's observation that a *successful* attack can suppress its own
+// backscatter signal.
+package backscatter
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"dnsddos/internal/packet"
+)
+
+// Victim describes the response behaviour of one attacked host.
+type Victim struct {
+	// OpenTCPPorts are ports answered with SYN-ACK; other TCP ports get
+	// RST. Both are backscatter.
+	OpenTCPPorts map[uint16]bool
+	// UDPServicePorts are ports with a listening service (no ICMP error,
+	// and the service reply goes to the spoofed source — still
+	// backscatter, modeled as a UDP reply). Other UDP ports produce
+	// ICMP port-unreachable.
+	UDPServicePorts map[uint16]bool
+	// ResponseRate is the fraction of attack packets answered (0..1),
+	// capturing rate limiting and overload-induced loss.
+	ResponseRate float64
+}
+
+// DefaultNameserverVictim returns the response profile of a typical
+// authoritative DNS host: TCP 53 open (DNS-over-TCP, §6.2), often 80/443
+// (shared web service), UDP 53 served.
+func DefaultNameserverVictim(withWeb bool) *Victim {
+	v := &Victim{
+		OpenTCPPorts:    map[uint16]bool{53: true},
+		UDPServicePorts: map[uint16]bool{53: true},
+		ResponseRate:    1.0,
+	}
+	if withWeb {
+		v.OpenTCPPorts[80] = true
+		v.OpenTCPPorts[443] = true
+	}
+	return v
+}
+
+// Respond returns the victim's response to one attack packet, or false when
+// the packet goes unanswered (overload drop, or a UDP service that swallows
+// the datagram is modeled as a reply — see below). The response source is
+// the victim address; the destination is the spoofed source, which is what
+// lands in the darknet.
+func (v *Victim) Respond(rng *rand.Rand, t time.Time, atk packet.Packet) (time.Time, packet.Packet, bool) {
+	if v.ResponseRate < 1 && rng.Float64() >= v.ResponseRate {
+		return time.Time{}, packet.Packet{}, false
+	}
+	// small service delay so response timestamps don't collide exactly
+	rt := t.Add(time.Duration(rng.IntN(1000)) * time.Microsecond)
+	resp := packet.Packet{
+		IP: packet.IPv4Header{
+			TTL:      64,
+			Protocol: atk.IP.Protocol,
+			Src:      atk.IP.Dst,
+			Dst:      atk.IP.Src,
+		},
+	}
+	switch {
+	case atk.TCP != nil:
+		h := packet.TCPHeader{
+			SrcPort: atk.TCP.DstPort,
+			DstPort: atk.TCP.SrcPort,
+			Ack:     atk.TCP.Seq + 1,
+			Window:  65535,
+		}
+		if v.OpenTCPPorts[atk.TCP.DstPort] {
+			h.Flags = packet.FlagSYN | packet.FlagACK
+			h.Seq = rng.Uint32()
+		} else {
+			h.Flags = packet.FlagRST | packet.FlagACK
+		}
+		resp.TCP = &h
+	case atk.UDP != nil:
+		if v.UDPServicePorts[atk.UDP.DstPort] {
+			// service reply (e.g. DNS answer/FORMERR) back to the
+			// spoofed source
+			resp.UDP = &packet.UDPHeader{
+				SrcPort: atk.UDP.DstPort,
+				DstPort: atk.UDP.SrcPort,
+			}
+		} else {
+			resp.IP.Protocol = packet.ProtoICMP
+			// A real ICMP error quotes the offending datagram's
+			// header; we carry the attacked port in Rest so the
+			// RSDoS port attribution can read it back, standing in
+			// for parsing the quoted header.
+			resp.ICMP = &packet.ICMPHeader{
+				Type: packet.ICMPDestUnreachable,
+				Code: packet.ICMPCodePortUnreach,
+				Rest: uint32(atk.UDP.DstPort),
+			}
+		}
+	case atk.ICMP != nil && atk.ICMP.Type == 8:
+		resp.ICMP = &packet.ICMPHeader{Type: packet.ICMPEchoReply}
+	default:
+		return time.Time{}, packet.Packet{}, false
+	}
+	return rt, resp, true
+}

@@ -1,0 +1,155 @@
+package backscatter
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"dnsddos/internal/netx"
+	"dnsddos/internal/packet"
+)
+
+func atkPacket(proto packet.Protocol, dstPort uint16) packet.Packet {
+	p := packet.Packet{
+		IP: packet.IPv4Header{
+			Protocol: proto,
+			Src:      netx.MustParseAddr("44.1.2.3"), // spoofed source
+			Dst:      netx.MustParseAddr("192.0.2.53"),
+		},
+	}
+	switch proto {
+	case packet.ProtoTCP:
+		p.TCP = &packet.TCPHeader{SrcPort: 40000, DstPort: dstPort, Seq: 1000, Flags: packet.FlagSYN}
+	case packet.ProtoUDP:
+		p.UDP = &packet.UDPHeader{SrcPort: 40000, DstPort: dstPort}
+	case packet.ProtoICMP:
+		p.ICMP = &packet.ICMPHeader{Type: 8}
+	}
+	return p
+}
+
+func TestSYNToOpenPortElicitsSYNACK(t *testing.T) {
+	v := DefaultNameserverVictim(false)
+	rng := rand.New(rand.NewPCG(1, 1))
+	_, resp, ok := v.Respond(rng, time.Now(), atkPacket(packet.ProtoTCP, 53))
+	if !ok || resp.TCP == nil {
+		t.Fatalf("no TCP response: ok=%v", ok)
+	}
+	if !resp.TCP.Flags.Has(packet.FlagSYN | packet.FlagACK) {
+		t.Errorf("flags = %v, want SYN|ACK", resp.TCP.Flags)
+	}
+	if resp.IP.Src != netx.MustParseAddr("192.0.2.53") || resp.IP.Dst != netx.MustParseAddr("44.1.2.3") {
+		t.Errorf("response addressing wrong: %v → %v", resp.IP.Src, resp.IP.Dst)
+	}
+	if resp.TCP.SrcPort != 53 || resp.TCP.DstPort != 40000 {
+		t.Errorf("response ports: %d→%d", resp.TCP.SrcPort, resp.TCP.DstPort)
+	}
+	if resp.TCP.Ack != 1001 {
+		t.Errorf("ack = %d, want seq+1", resp.TCP.Ack)
+	}
+}
+
+func TestSYNToClosedPortElicitsRST(t *testing.T) {
+	v := DefaultNameserverVictim(false)
+	rng := rand.New(rand.NewPCG(2, 2))
+	_, resp, ok := v.Respond(rng, time.Now(), atkPacket(packet.ProtoTCP, 8080))
+	if !ok || resp.TCP == nil || !resp.TCP.Flags.Has(packet.FlagRST) {
+		t.Errorf("closed port should RST: ok=%v flags=%v", ok, resp.TCP)
+	}
+}
+
+func TestWebPortsOpenWithWeb(t *testing.T) {
+	v := DefaultNameserverVictim(true)
+	rng := rand.New(rand.NewPCG(3, 3))
+	_, resp, _ := v.Respond(rng, time.Now(), atkPacket(packet.ProtoTCP, 80))
+	if !resp.TCP.Flags.Has(packet.FlagSYN | packet.FlagACK) {
+		t.Error("port 80 open when victim hosts web")
+	}
+	vNoWeb := DefaultNameserverVictim(false)
+	_, resp, _ = vNoWeb.Respond(rng, time.Now(), atkPacket(packet.ProtoTCP, 80))
+	if !resp.TCP.Flags.Has(packet.FlagRST) {
+		t.Error("port 80 closed without web")
+	}
+}
+
+func TestUDPToClosedPortElicitsICMPWithQuotedPort(t *testing.T) {
+	v := DefaultNameserverVictim(false)
+	rng := rand.New(rand.NewPCG(4, 4))
+	_, resp, ok := v.Respond(rng, time.Now(), atkPacket(packet.ProtoUDP, 9999))
+	if !ok || resp.ICMP == nil {
+		t.Fatalf("no ICMP response")
+	}
+	if resp.ICMP.Type != packet.ICMPDestUnreachable || resp.ICMP.Code != packet.ICMPCodePortUnreach {
+		t.Errorf("ICMP type/code = %d/%d", resp.ICMP.Type, resp.ICMP.Code)
+	}
+	if resp.ICMP.Rest != 9999 {
+		t.Errorf("quoted port = %d", resp.ICMP.Rest)
+	}
+	if resp.IP.Protocol != packet.ProtoICMP {
+		t.Errorf("IP protocol = %v", resp.IP.Protocol)
+	}
+}
+
+func TestUDPToServicePortElicitsUDPReply(t *testing.T) {
+	v := DefaultNameserverVictim(false)
+	rng := rand.New(rand.NewPCG(5, 5))
+	_, resp, ok := v.Respond(rng, time.Now(), atkPacket(packet.ProtoUDP, 53))
+	if !ok || resp.UDP == nil {
+		t.Fatal("served UDP port should reply with UDP")
+	}
+	if resp.UDP.SrcPort != 53 || resp.UDP.DstPort != 40000 {
+		t.Errorf("reply ports = %d→%d", resp.UDP.SrcPort, resp.UDP.DstPort)
+	}
+}
+
+func TestEchoRequestElicitsEchoReply(t *testing.T) {
+	v := DefaultNameserverVictim(false)
+	rng := rand.New(rand.NewPCG(6, 6))
+	_, resp, ok := v.Respond(rng, time.Now(), atkPacket(packet.ProtoICMP, 0))
+	if !ok || resp.ICMP == nil || resp.ICMP.Type != packet.ICMPEchoReply {
+		t.Errorf("echo reply missing: %+v", resp.ICMP)
+	}
+}
+
+func TestResponseRateThinning(t *testing.T) {
+	v := DefaultNameserverVictim(false)
+	v.ResponseRate = 0.25
+	rng := rand.New(rand.NewPCG(7, 7))
+	var answered int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, _, ok := v.Respond(rng, time.Now(), atkPacket(packet.ProtoTCP, 53)); ok {
+			answered++
+		}
+	}
+	frac := float64(answered) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Errorf("response rate = %.3f, want ≈0.25", frac)
+	}
+}
+
+func TestResponseTimestampNonDecreasing(t *testing.T) {
+	v := DefaultNameserverVictim(false)
+	rng := rand.New(rand.NewPCG(8, 8))
+	now := time.Now()
+	rt, _, ok := v.Respond(rng, now, atkPacket(packet.ProtoTCP, 53))
+	if !ok || rt.Before(now) {
+		t.Errorf("response time %v before attack time %v", rt, now)
+	}
+}
+
+func TestUnrespondablePacket(t *testing.T) {
+	v := DefaultNameserverVictim(false)
+	rng := rand.New(rand.NewPCG(9, 9))
+	p := packet.Packet{IP: packet.IPv4Header{Protocol: 99}}
+	if _, _, ok := v.Respond(rng, time.Now(), p); ok {
+		t.Error("unknown transport should not be answered")
+	}
+	icmpReply := packet.Packet{
+		IP:   packet.IPv4Header{Protocol: packet.ProtoICMP},
+		ICMP: &packet.ICMPHeader{Type: packet.ICMPEchoReply},
+	}
+	if _, _, ok := v.Respond(rng, time.Now(), icmpReply); ok {
+		t.Error("echo reply should not be answered (no loops)")
+	}
+}

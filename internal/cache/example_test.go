@@ -1,0 +1,28 @@
+package cache_test
+
+import (
+	"fmt"
+	"time"
+
+	"dnsddos/internal/cache"
+)
+
+// ExampleCache shows TTL and LRU behaviour of the positive cache.
+func ExampleCache() {
+	t0 := time.Date(2021, 5, 1, 12, 0, 0, 0, time.UTC)
+	c := cache.New(2)
+	c.Put(cache.Entry{Domain: 1, Expires: t0.Add(time.Minute)})
+	c.Put(cache.Entry{Domain: 2, Expires: t0.Add(time.Hour)})
+
+	_, freshHit := c.Get(1, t0.Add(30*time.Second))
+	_, expiredHit := c.Get(1, t0.Add(2*time.Minute))
+	fmt.Println("fresh:", freshHit, "after TTL:", expiredHit)
+
+	// inserting a third entry evicts the least recently used
+	c.Put(cache.Entry{Domain: 3, Expires: t0.Add(time.Hour)})
+	_, evicted := c.Get(2, t0)
+	fmt.Println("LRU entry survived:", evicted)
+	// Output:
+	// fresh: true after TTL: false
+	// LRU entry survived: false
+}

@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"time"
+
+	"dnsddos/internal/dnsdb"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/resolver"
+)
+
+// negative.go adds RFC 2308 negative caching: failed resolutions are
+// remembered briefly so a resolver under attack does not hammer dead
+// authoritative servers — and, from the measurement angle, so end users
+// behind a shared resolver experience one fast SERVFAIL instead of a
+// per-query timeout storm during an attack.
+
+// NegativeEntry records a recent resolution failure.
+type NegativeEntry struct {
+	Domain  dnsdb.DomainID
+	Status  nsset.QueryStatus
+	Expires time.Time
+}
+
+// NegativeCache is a TTL-bound map of recent failures. Unlike the positive
+// cache it needs no LRU: entries are short-lived and the domain space is
+// bounded.
+type NegativeCache struct {
+	entries map[dnsdb.DomainID]NegativeEntry
+	ttl     time.Duration
+	hits    int64
+}
+
+// NewNegativeCache creates a negative cache with the given TTL (RFC 2308
+// caps negative TTLs; resolvers commonly use tens of seconds to minutes).
+func NewNegativeCache(ttl time.Duration) *NegativeCache {
+	return &NegativeCache{entries: make(map[dnsdb.DomainID]NegativeEntry), ttl: ttl}
+}
+
+// Get returns a fresh negative entry for d, if any.
+func (nc *NegativeCache) Get(d dnsdb.DomainID, t time.Time) (NegativeEntry, bool) {
+	e, ok := nc.entries[d]
+	if !ok || !t.Before(e.Expires) {
+		return NegativeEntry{}, false
+	}
+	nc.hits++
+	return e, true
+}
+
+// Put records a failure at time t.
+func (nc *NegativeCache) Put(d dnsdb.DomainID, status nsset.QueryStatus, t time.Time) {
+	nc.entries[d] = NegativeEntry{Domain: d, Status: status, Expires: t.Add(nc.ttl)}
+}
+
+// Hits returns how many queries were answered negatively from cache.
+func (nc *NegativeCache) Hits() int64 { return nc.hits }
+
+// Len returns the number of stored entries (fresh or expired).
+func (nc *NegativeCache) Len() int { return len(nc.entries) }
+
+// EnableNegativeCaching attaches a negative cache to the caching resolver.
+func (r *Resolver) EnableNegativeCaching(ttl time.Duration) {
+	r.negative = NewNegativeCache(ttl)
+}
+
+// NegativeCache exposes the attached negative cache (nil if disabled).
+func (r *Resolver) NegativeCache() *NegativeCache { return r.negative }
+
+// negativeAnswer is consulted by Resolve before going to the origin.
+func (r *Resolver) negativeAnswer(d dnsdb.DomainID, t time.Time) (Outcome, bool) {
+	if r.negative == nil {
+		return Outcome{}, false
+	}
+	e, ok := r.negative.Get(d, t)
+	if !ok {
+		return Outcome{}, false
+	}
+	return Outcome{
+		Outcome:  resolver.Outcome{Status: e.Status},
+		CacheHit: true,
+	}, true
+}
+
+// recordFailure stores a failed origin resolution.
+func (r *Resolver) recordFailure(d dnsdb.DomainID, status nsset.QueryStatus, t time.Time) {
+	if r.negative != nil {
+		r.negative.Put(d, status, t)
+	}
+}

@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"dnsddos/internal/dnsdb"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/stats"
+)
+
+// population.go simulates a resolver's user population during an attack.
+// §6.3.1 observes that the end-user impact of a complete resolution failure
+// "depends on several factors, mainly related to caching policy: a popular
+// domain (i.e., queried frequently, available in most caches) with a high
+// TTL value may be less affected than a less popular one." This simulator
+// quantifies that: a Zipf query stream keeps popular domains' records warm,
+// so during an authoritative outage the failure probability a user sees
+// falls with the domain's popularity rank.
+
+// PopulationConfig tunes the simulated user population.
+type PopulationConfig struct {
+	// QueryRate is the resolver's aggregate user query rate (queries per
+	// second) across all domains.
+	QueryRate float64
+	// ZipfExponent shapes domain popularity (≈1 for web traffic).
+	ZipfExponent float64
+	// TTL is the positive cache TTL.
+	TTL time.Duration
+	// Seed drives the query stream.
+	Seed uint64
+}
+
+// DefaultPopulationConfig returns a modest ISP-resolver workload.
+func DefaultPopulationConfig() PopulationConfig {
+	return PopulationConfig{QueryRate: 50, ZipfExponent: 1.0, TTL: time.Hour, Seed: 17}
+}
+
+// PopularityOutcome reports, for one popularity decile (0 = most popular),
+// how user queries fared during the observation window.
+type PopularityOutcome struct {
+	Decile   int
+	Queries  int
+	Failures int
+	// CacheHitRate is the fraction of the decile's queries answered
+	// from cache.
+	CacheHitRate float64
+}
+
+// FailureRate returns the user-visible failure fraction.
+func (p PopularityOutcome) FailureRate() float64 {
+	return stats.Ratio(float64(p.Failures), float64(p.Queries))
+}
+
+// SimulatePopulation replays a Zipf query stream over the given domains
+// through a caching resolver from warmupStart to end, and reports outcomes
+// per popularity decile for queries issued at or after observeFrom
+// (typically the attack start; the earlier stream warms the cache).
+func SimulatePopulation(cfg PopulationConfig, r *Resolver, domains []dnsdb.DomainID, warmupStart, observeFrom, end time.Time) []PopularityOutcome {
+	if len(domains) == 0 || !end.After(warmupStart) {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x90b))
+	z := stats.NewZipf(len(domains), cfg.ZipfExponent)
+	r.TTL = cfg.TTL
+	if r.TTLJitter == 0 {
+		r.TTLJitter = 0.3 // decorrelate expiry phases across domains
+	}
+
+	// popularity rank = position in the domains slice; decile by rank
+	decileOf := func(rank int) int {
+		d := rank * 10 / len(domains)
+		if d > 9 {
+			d = 9
+		}
+		return d
+	}
+	outcomes := make([]PopularityOutcome, 10)
+	for i := range outcomes {
+		outcomes[i].Decile = i
+	}
+	var hits [10]int
+
+	step := time.Duration(float64(time.Second) / cfg.QueryRate)
+	for t := warmupStart; t.Before(end); t = t.Add(step) {
+		rank := z.Draw(rng)
+		o := r.Resolve(rng, domains[rank], t)
+		if t.Before(observeFrom) {
+			continue
+		}
+		d := decileOf(rank)
+		outcomes[d].Queries++
+		if o.Status != nsset.StatusOK {
+			outcomes[d].Failures++
+		}
+		if o.CacheHit {
+			hits[d]++
+		}
+	}
+	for i := range outcomes {
+		if outcomes[i].Queries > 0 {
+			outcomes[i].CacheHitRate = float64(hits[i]) / float64(outcomes[i].Queries)
+		}
+	}
+	// drop empty deciles (tiny domain lists)
+	out := outcomes[:0]
+	for _, o := range outcomes {
+		if o.Queries > 0 {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decile < out[j].Decile })
+	return out
+}

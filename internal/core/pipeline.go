@@ -1,0 +1,349 @@
+// Package core implements the paper's primary contribution: the data-join
+// pipeline of Figure 1 and §4. It joins RSDoS attack inferences with the
+// active DNS measurement data to answer, per attack: which nameservers and
+// domains were under attack, and what happened to resolution performance
+// (Eq. 1 impact) and availability (timeout/SERVFAIL rates) while it lasted.
+//
+// Pipeline steps (§4):
+//  1. aggregate OpenINTEL measurements per NSSet in 5-minute windows
+//     (internal/nsset, fed by internal/openintel);
+//  2. map attacked IPs to nameservers under attack using the previous
+//     day's nameserver list;
+//  3. extract the domains those nameservers host;
+//  4. use the per-NSSet RTT data to infer performance impairment.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"dnsddos/internal/anycast"
+	"dnsddos/internal/astopo"
+	"dnsddos/internal/clock"
+	"dnsddos/internal/dnsdb"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/openres"
+	"dnsddos/internal/rsdos"
+)
+
+// Class is the target classification of an attack.
+type Class int
+
+// Attack target classes.
+const (
+	// ClassOther: the victim IP is not DNS infrastructure.
+	ClassOther Class = iota
+	// ClassDNSDirect: the victim IP is an authoritative nameserver.
+	ClassDNSDirect
+	// ClassDNSSlash24: the victim shares a /24 with a nameserver but is
+	// not one itself.
+	ClassDNSSlash24
+	// ClassOpenResolver: the victim is a public open resolver that
+	// appears in NS records only through misconfiguration; filtered
+	// from the authoritative analysis (§6.1).
+	ClassOpenResolver
+)
+
+// String renders the class label.
+func (c Class) String() string {
+	switch c {
+	case ClassOther:
+		return "other"
+	case ClassDNSDirect:
+		return "dns-direct"
+	case ClassDNSSlash24:
+		return "dns-slash24"
+	case ClassOpenResolver:
+		return "open-resolver"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifiedAttack pairs an RSDoS attack with its target classification.
+type ClassifiedAttack struct {
+	rsdos.Attack
+	Class Class
+	// NSRecorded reports whether the victim IP appears in NS records of
+	// registered domains (true for authoritative servers and for open
+	// resolvers that misconfigured domains delegate to).
+	NSRecorded bool
+	// NS is the attacked nameserver for NS-recorded victims.
+	NS dnsdb.NameserverID
+}
+
+// DNSInfra reports whether the attack counts as "toward an IP used as a DNS
+// nameserver" (the Table 3/4/5 population, which includes NS-recorded open
+// resolvers before the §6.1 filtering).
+func (ca *ClassifiedAttack) DNSInfra() bool {
+	return ca.NSRecorded
+}
+
+// Config tunes the pipeline.
+type Config struct {
+	// MinMeasuredDomains is the noise filter of §6.3: NSSets with fewer
+	// measured domains during the attack are dropped from the
+	// performance analysis.
+	MinMeasuredDomains int
+	// FilterOpenResolvers removes open-resolver victims from the
+	// DNS-infrastructure analysis (on in the paper; the ablation bench
+	// turns it off).
+	FilterOpenResolvers bool
+	// UsePrevDaySnapshot selects the §4.2 join rule (nameserver list of
+	// the day before the attack). The ablation uses same-day instead.
+	UsePrevDaySnapshot bool
+	// BaselineDaysBack selects the Eq. 1 denominator: 1 = day before
+	// (paper default); 7 = week before (ablation).
+	BaselineDaysBack int
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		MinMeasuredDomains:  5,
+		FilterOpenResolvers: true,
+		UsePrevDaySnapshot:  true,
+		BaselineDaysBack:    1,
+	}
+}
+
+// Pipeline is the frozen join context: world, measurements, and metadata.
+type Pipeline struct {
+	cfg     Config
+	db      *dnsdb.DB
+	agg     *nsset.Aggregator
+	census  *anycast.Census
+	topo    *astopo.Table
+	openRes *openres.List
+
+	// nssetDomains maps each NSSet to the number of domains hosted on it.
+	nssetDomains map[nsset.Key]int
+	// nssetsByAddr maps a nameserver address to the NSSets containing it.
+	nssetsByAddr map[netx.Addr][]nsset.Key
+	// slash24HasNS marks /24s containing at least one nameserver.
+	slash24HasNS map[netx.Prefix]bool
+}
+
+// NewPipeline builds the join context. census, topo and openRes may be nil
+// (metadata enrichment then degrades gracefully).
+func NewPipeline(cfg Config, db *dnsdb.DB, agg *nsset.Aggregator, census *anycast.Census, topo *astopo.Table, open *openres.List) *Pipeline {
+	p := &Pipeline{
+		cfg:          cfg,
+		db:           db,
+		agg:          agg,
+		census:       census,
+		topo:         topo,
+		openRes:      open,
+		nssetDomains: make(map[nsset.Key]int),
+		nssetsByAddr: make(map[netx.Addr][]nsset.Key),
+		slash24HasNS: make(map[netx.Prefix]bool),
+	}
+	for i := range db.Domains {
+		k := nsset.KeyOf(db.NSAddrs(dnsdb.DomainID(i)))
+		p.nssetDomains[k]++
+	}
+	for k := range p.nssetDomains {
+		for _, a := range k.Addrs() {
+			p.nssetsByAddr[a] = append(p.nssetsByAddr[a], k)
+		}
+	}
+	for a, sets := range p.nssetsByAddr {
+		sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
+		p.slash24HasNS[a.Slash24()] = true
+	}
+	return p
+}
+
+// Classify assigns each attack its target class (step 2 of the join).
+func (p *Pipeline) Classify(attacks []rsdos.Attack) []ClassifiedAttack {
+	out := make([]ClassifiedAttack, 0, len(attacks))
+	for _, a := range attacks {
+		ca := ClassifiedAttack{Attack: a, Class: ClassOther}
+		if ns, ok := p.db.NameserverByAddr(a.Victim); ok {
+			ca.NSRecorded = true
+			ca.NS = ns.ID
+		}
+		switch {
+		case p.cfg.FilterOpenResolvers && p.openRes != nil && p.openRes.Contains(a.Victim):
+			ca.Class = ClassOpenResolver
+		case ca.NSRecorded:
+			ca.Class = ClassDNSDirect
+		case p.slash24HasNS[a.Victim.Slash24()]:
+			ca.Class = ClassDNSSlash24
+		}
+		out = append(out, ca)
+	}
+	return out
+}
+
+// Event is one joined (attack, NSSet) observation — the unit of the §6.3
+// performance analysis (the paper's "12,691 distinct events of attacks to
+// distinct NSSets").
+type Event struct {
+	Attack ClassifiedAttack
+	NSSet  nsset.Key
+	// HostedDomains is how many registered domains delegate to this
+	// NSSet (the x-axis of Figs. 7–8).
+	HostedDomains int
+	// MeasuredDomains is how many domain measurements fell inside the
+	// attack windows.
+	MeasuredDomains int
+	// OK/Timeouts/ServFails total the outcomes inside attack windows.
+	OK        int
+	Timeouts  int
+	ServFails int
+	// Impact is the Eq. 1 maximum over attack windows; HasImpact is
+	// false when no window had both measurements and a baseline.
+	Impact    float64
+	HasImpact bool
+	// FailureRate is the worst per-window failure fraction.
+	FailureRate float64
+	// Diversity and AnycastClass summarize the §6.6 resilience
+	// dimensions at attack time.
+	Diversity    nsset.Diversity
+	AnycastClass nsset.AnycastClass
+	// ASNs are the origin ASes of the NSSet members.
+	ASNs []astopo.ASN
+	// Provider is the operator of the attacked nameserver.
+	Provider string
+}
+
+// FailedCompletely reports whether every measured domain failed (the
+// "complete failure in resolution" cases of §6.3.1).
+func (e *Event) FailedCompletely() bool {
+	return e.MeasuredDomains > 0 && e.OK == 0
+}
+
+// Events runs steps 2–4 of the join for the given attacks, producing one
+// event per (attack, NSSet) with at least MinMeasuredDomains measurements
+// during the attack.
+func (p *Pipeline) Events(attacks []rsdos.Attack) []Event {
+	var out []Event
+	for _, ca := range p.Classify(attacks) {
+		if ca.Class != ClassDNSDirect {
+			continue
+		}
+		for _, k := range p.nssetsByAddr[ca.Victim] {
+			if e, ok := p.buildEvent(ca, k); ok {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+func (p *Pipeline) buildEvent(ca ClassifiedAttack, k nsset.Key) (Event, bool) {
+	// The NSSet must appear in the nameserver list of the snapshot day:
+	// the paper uses the day *before* the attack, so that servers
+	// unreachable during the attack are not missed (§4.2). The same-day
+	// ablation requires a successful observation on the attack day
+	// itself — which a devastating attack can prevent.
+	snapDay := ca.StartWindow.Day()
+	if p.cfg.UsePrevDaySnapshot {
+		snapDay = snapDay.Prev()
+	}
+	if b := p.agg.Baseline(k, snapDay); b == nil || b.OKCount == 0 {
+		return Event{}, false
+	}
+	e := Event{
+		Attack:        ca,
+		NSSet:         k,
+		HostedDomains: p.nssetDomains[k],
+	}
+	impact := 0.0
+	hasImpact := false
+	worstFail := 0.0
+	for w := ca.StartWindow; w <= ca.EndWindow; w++ {
+		m := p.agg.Window(k, w)
+		if m == nil {
+			continue
+		}
+		e.MeasuredDomains += m.Domains
+		e.OK += m.OKCount
+		e.Timeouts += m.Timeouts
+		e.ServFails += m.ServFails
+		if fr := m.FailureRate(); fr > worstFail {
+			worstFail = fr
+		}
+		if imp, ok := p.impactAt(k, w); ok {
+			hasImpact = true
+			if imp > impact {
+				impact = imp
+			}
+		}
+	}
+	if e.MeasuredDomains < p.cfg.MinMeasuredDomains {
+		return Event{}, false
+	}
+	e.Impact, e.HasImpact, e.FailureRate = impact, hasImpact, worstFail
+	p.enrich(&e, ca.Start())
+	return e, true
+}
+
+// impactAt applies the configured Eq. 1 baseline rule.
+func (p *Pipeline) impactAt(k nsset.Key, w clock.Window) (float64, bool) {
+	back := p.cfg.BaselineDaysBack
+	if back <= 0 {
+		back = 1
+	}
+	return p.agg.ImpactVsDay(k, w, w.Day()-clock.Day(back))
+}
+
+// enrich fills diversity, anycast, AS and provider metadata.
+func (p *Pipeline) enrich(e *Event, at time.Time) {
+	addrs := e.NSSet.Addrs()
+	d := nsset.Diversity{NumNS: len(addrs)}
+	asns := make(map[astopo.ASN]struct{})
+	prefixes := make(map[netx.Prefix]struct{})
+	for _, a := range addrs {
+		prefixes[a.Slash24()] = struct{}{}
+		if p.topo != nil {
+			if asn, ok := p.topo.Lookup(a); ok {
+				asns[asn] = struct{}{}
+			}
+		}
+		if p.census != nil && p.census.IsAnycastAt(a, at) {
+			d.NumAnycast++
+		}
+	}
+	d.NumASNs = len(asns)
+	d.NumPrefixes = len(prefixes)
+	e.Diversity = d
+	e.AnycastClass = d.Class()
+	e.ASNs = make([]astopo.ASN, 0, len(asns))
+	for a := range asns {
+		e.ASNs = append(e.ASNs, a)
+	}
+	sort.Slice(e.ASNs, func(i, j int) bool { return e.ASNs[i] < e.ASNs[j] })
+	if e.Attack.Class == ClassDNSDirect {
+		e.Provider = p.db.ProviderOf(e.Attack.NS).Name
+	}
+}
+
+// DomainsUnderAttack returns, for a DNS-direct attack, the number of
+// registered domains whose NSSet includes the victim (step 3 of the join;
+// the Fig. 5 quantity "domains potentially affected").
+func (p *Pipeline) DomainsUnderAttack(ca ClassifiedAttack) int {
+	if ca.Class != ClassDNSDirect {
+		return 0
+	}
+	return len(p.db.DomainsOf(ca.NS))
+}
+
+// Config returns the pipeline configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// DB returns the world database.
+func (p *Pipeline) DB() *dnsdb.DB { return p.db }
+
+// Aggregator returns the measurement aggregator.
+func (p *Pipeline) Aggregator() *nsset.Aggregator { return p.agg }
+
+// NSSetsContaining returns the NSSets containing a nameserver address.
+func (p *Pipeline) NSSetsContaining(a netx.Addr) []nsset.Key {
+	return p.nssetsByAddr[a]
+}
+
+// NSSetDomainCount returns how many domains an NSSet hosts.
+func (p *Pipeline) NSSetDomainCount(k nsset.Key) int { return p.nssetDomains[k] }

@@ -1,0 +1,560 @@
+// Package dnswire implements the subset of the DNS wire format (RFC 1035)
+// that the measurement platform exercises: message header, question section,
+// and A/NS/SOA/TXT resource records, including name compression on encode
+// and decode.
+//
+// The authoritative server (internal/authserver) and the stub resolver
+// (internal/resolver, real-socket mode) speak this format over actual UDP
+// and TCP sockets, so the reproduction exercises a genuine DNS data path
+// rather than an in-memory shortcut.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"dnsddos/internal/netx"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// RR types used by the platform. OpenINTEL's relevant probe here is the
+// explicit NS query (§3.2); A records appear in glue and in the census
+// probes; SOA backs negative responses.
+const (
+	TypeA   Type = 1
+	TypeNS  Type = 2
+	TypeSOA Type = 6
+	TypeTXT Type = 16
+)
+
+// String renders the mnemonic.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeSOA:
+		return "SOA"
+	case TypeTXT:
+		return "TXT"
+	case TypeOPT:
+		return "OPT"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class; only IN is used.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes the platform distinguishes. OpenINTEL's status codes
+// (OK, SERVFAIL, TIMEOUT, §3.2) map onto these plus a transport-level
+// timeout that never reaches the wire.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// String renders the mnemonic.
+func (r RCode) String() string {
+	switch r {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// Header is the 12-byte DNS message header.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+	QDCount            uint16
+	ANCount            uint16
+	NSCount            uint16
+	ARCount            uint16
+}
+
+// Question is one entry of the question section.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// RR is a resource record. Exactly one of the typed data fields is
+// meaningful, selected by Type.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+
+	A   netx.Addr // TypeA
+	NS  string    // TypeNS: nameserver host name
+	SOA *SOAData  // TypeSOA
+	TXT []string  // TypeTXT
+}
+
+// SOAData is the RDATA of an SOA record.
+type SOAData struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Message is a full DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// errors returned by the decoder.
+var (
+	ErrShortMessage = errors.New("dnswire: short message")
+	ErrBadName      = errors.New("dnswire: malformed name")
+	ErrBadPointer   = errors.New("dnswire: bad compression pointer")
+)
+
+// maxNameLen caps encoded name length per RFC 1035 §2.3.4.
+const maxNameLen = 255
+
+// CanonicalName lowercases and strips the trailing dot so names compare
+// consistently as map keys throughout the platform.
+func CanonicalName(name string) string {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	return name
+}
+
+type encoder struct {
+	buf []byte
+	// offsets of previously encoded names for compression; key is the
+	// canonical remaining-name suffix
+	names map[string]int
+}
+
+func (e *encoder) putUint16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+func (e *encoder) putUint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// putName encodes a domain name with compression.
+func (e *encoder) putName(name string) error {
+	name = CanonicalName(name)
+	if name == "" {
+		e.buf = append(e.buf, 0)
+		return nil
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if off, ok := e.names[suffix]; ok && off < 0x3fff {
+			e.putUint16(0xc000 | uint16(off))
+			return nil
+		}
+		if len(e.buf) < 0x3fff {
+			e.names[suffix] = len(e.buf)
+		}
+		label := labels[i]
+		if len(label) == 0 || len(label) > 63 {
+			return fmt.Errorf("%w: label %q", ErrBadName, label)
+		}
+		e.buf = append(e.buf, byte(len(label)))
+		e.buf = append(e.buf, label...)
+	}
+	e.buf = append(e.buf, 0)
+	return nil
+}
+
+func (e *encoder) putRR(rr RR) error {
+	if err := e.putName(rr.Name); err != nil {
+		return err
+	}
+	e.putUint16(uint16(rr.Type))
+	e.putUint16(uint16(rr.Class))
+	e.putUint32(rr.TTL)
+	// reserve rdlength
+	lenAt := len(e.buf)
+	e.putUint16(0)
+	start := len(e.buf)
+	switch rr.Type {
+	case TypeA:
+		e.putUint32(uint32(rr.A))
+	case TypeNS:
+		if err := e.putName(rr.NS); err != nil {
+			return err
+		}
+	case TypeSOA:
+		if rr.SOA == nil {
+			return errors.New("dnswire: SOA record without SOAData")
+		}
+		if err := e.putName(rr.SOA.MName); err != nil {
+			return err
+		}
+		if err := e.putName(rr.SOA.RName); err != nil {
+			return err
+		}
+		e.putUint32(rr.SOA.Serial)
+		e.putUint32(rr.SOA.Refresh)
+		e.putUint32(rr.SOA.Retry)
+		e.putUint32(rr.SOA.Expire)
+		e.putUint32(rr.SOA.Minimum)
+	case TypeTXT:
+		for _, s := range rr.TXT {
+			if len(s) > 255 {
+				return errors.New("dnswire: TXT string too long")
+			}
+			e.buf = append(e.buf, byte(len(s)))
+			e.buf = append(e.buf, s...)
+		}
+	case TypeOPT:
+		// EDNS(0) pseudo-record: all meaning lives in the fixed RR
+		// fields; we carry no options, so RDATA is empty
+	default:
+		return fmt.Errorf("dnswire: cannot encode RR type %v", rr.Type)
+	}
+	rdlen := len(e.buf) - start
+	if rdlen > 0xffff {
+		return errors.New("dnswire: RDATA too long")
+	}
+	binary.BigEndian.PutUint16(e.buf[lenAt:], uint16(rdlen))
+	return nil
+}
+
+// Encode serializes the message, fixing up the section counts from the
+// actual slice lengths.
+func Encode(m *Message) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 512), names: make(map[string]int)}
+	h := m.Header
+	h.QDCount = uint16(len(m.Questions))
+	h.ANCount = uint16(len(m.Answers))
+	h.NSCount = uint16(len(m.Authority))
+	h.ARCount = uint16(len(m.Additional))
+
+	e.putUint16(h.ID)
+	var flags uint16
+	if h.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xf) << 11
+	if h.Authoritative {
+		flags |= 1 << 10
+	}
+	if h.Truncated {
+		flags |= 1 << 9
+	}
+	if h.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.RCode & 0xf)
+	e.putUint16(flags)
+	e.putUint16(h.QDCount)
+	e.putUint16(h.ANCount)
+	e.putUint16(h.NSCount)
+	e.putUint16(h.ARCount)
+
+	for _, q := range m.Questions {
+		if err := e.putName(q.Name); err != nil {
+			return nil, err
+		}
+		e.putUint16(uint16(q.Type))
+		e.putUint16(uint16(q.Class))
+	}
+	for _, rr := range m.Answers {
+		if err := e.putRR(rr); err != nil {
+			return nil, err
+		}
+	}
+	for _, rr := range m.Authority {
+		if err := e.putRR(rr); err != nil {
+			return nil, err
+		}
+	}
+	for _, rr := range m.Additional {
+		if err := e.putRR(rr); err != nil {
+			return nil, err
+		}
+	}
+	return e.buf, nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) uint16() (uint16, error) {
+	if d.off+2 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	if d.off+4 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// name decodes a possibly compressed name starting at d.off.
+func (d *decoder) name() (string, error) {
+	s, next, err := d.nameAt(d.off, 0)
+	if err != nil {
+		return "", err
+	}
+	d.off = next
+	return s, nil
+}
+
+// nameAt decodes a name at off; returns the name and the offset just past
+// its in-place encoding. depth guards against pointer loops.
+func (d *decoder) nameAt(off, depth int) (string, int, error) {
+	if depth > 16 {
+		return "", 0, ErrBadPointer
+	}
+	var sb strings.Builder
+	for {
+		if off >= len(d.buf) {
+			return "", 0, ErrShortMessage
+		}
+		l := int(d.buf[off])
+		switch {
+		case l == 0:
+			return sb.String(), off + 1, nil
+		case l&0xc0 == 0xc0:
+			if off+2 > len(d.buf) {
+				return "", 0, ErrShortMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(d.buf[off:]) & 0x3fff)
+			if ptr >= off {
+				return "", 0, ErrBadPointer
+			}
+			rest, _, err := d.nameAt(ptr, depth+1)
+			if err != nil {
+				return "", 0, err
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.WriteString(rest)
+			return sb.String(), off + 2, nil
+		case l > 63:
+			return "", 0, ErrBadName
+		default:
+			if off+1+l > len(d.buf) {
+				return "", 0, ErrShortMessage
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(d.buf[off+1 : off+1+l])
+			if sb.Len() > maxNameLen {
+				return "", 0, ErrBadName
+			}
+			off += 1 + l
+		}
+	}
+}
+
+func (d *decoder) rr() (RR, error) {
+	var rr RR
+	name, err := d.name()
+	if err != nil {
+		return rr, err
+	}
+	rr.Name = name
+	t, err := d.uint16()
+	if err != nil {
+		return rr, err
+	}
+	rr.Type = Type(t)
+	c, err := d.uint16()
+	if err != nil {
+		return rr, err
+	}
+	rr.Class = Class(c)
+	ttl, err := d.uint32()
+	if err != nil {
+		return rr, err
+	}
+	rr.TTL = ttl
+	rdlen, err := d.uint16()
+	if err != nil {
+		return rr, err
+	}
+	if d.off+int(rdlen) > len(d.buf) {
+		return rr, ErrShortMessage
+	}
+	end := d.off + int(rdlen)
+	switch rr.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return rr, fmt.Errorf("dnswire: A RDATA length %d", rdlen)
+		}
+		v, _ := d.uint32()
+		rr.A = netx.Addr(v)
+	case TypeNS:
+		ns, err := d.name()
+		if err != nil {
+			return rr, err
+		}
+		rr.NS = ns
+	case TypeSOA:
+		var soa SOAData
+		if soa.MName, err = d.name(); err != nil {
+			return rr, err
+		}
+		if soa.RName, err = d.name(); err != nil {
+			return rr, err
+		}
+		for _, p := range []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum} {
+			if *p, err = d.uint32(); err != nil {
+				return rr, err
+			}
+		}
+		rr.SOA = &soa
+	case TypeTXT:
+		for d.off < end {
+			l := int(d.buf[d.off])
+			if d.off+1+l > end {
+				return rr, ErrShortMessage
+			}
+			rr.TXT = append(rr.TXT, string(d.buf[d.off+1:d.off+1+l]))
+			d.off += 1 + l
+		}
+	default:
+		// skip unknown RDATA
+	}
+	if d.off > end {
+		return rr, fmt.Errorf("dnswire: RDATA overrun for type %v", rr.Type)
+	}
+	d.off = end
+	return rr, nil
+}
+
+// Decode parses a DNS message.
+func Decode(b []byte) (*Message, error) {
+	d := &decoder{buf: b}
+	var m Message
+	id, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m.Header = Header{
+		ID:                 id,
+		Response:           flags&(1<<15) != 0,
+		Opcode:             uint8(flags >> 11 & 0xf),
+		Authoritative:      flags&(1<<10) != 0,
+		Truncated:          flags&(1<<9) != 0,
+		RecursionDesired:   flags&(1<<8) != 0,
+		RecursionAvailable: flags&(1<<7) != 0,
+		RCode:              RCode(flags & 0xf),
+	}
+	counts := make([]uint16, 4)
+	for i := range counts {
+		if counts[i], err = d.uint16(); err != nil {
+			return nil, err
+		}
+	}
+	m.Header.QDCount, m.Header.ANCount, m.Header.NSCount, m.Header.ARCount = counts[0], counts[1], counts[2], counts[3]
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		if q.Name, err = d.name(); err != nil {
+			return nil, err
+		}
+		t, err := d.uint16()
+		if err != nil {
+			return nil, err
+		}
+		q.Type = Type(t)
+		c, err := d.uint16()
+		if err != nil {
+			return nil, err
+		}
+		q.Class = Class(c)
+		m.Questions = append(m.Questions, q)
+	}
+	for i := 0; i < int(counts[1]); i++ {
+		rr, err := d.rr()
+		if err != nil {
+			return nil, err
+		}
+		m.Answers = append(m.Answers, rr)
+	}
+	for i := 0; i < int(counts[2]); i++ {
+		rr, err := d.rr()
+		if err != nil {
+			return nil, err
+		}
+		m.Authority = append(m.Authority, rr)
+	}
+	for i := 0; i < int(counts[3]); i++ {
+		rr, err := d.rr()
+		if err != nil {
+			return nil, err
+		}
+		m.Additional = append(m.Additional, rr)
+	}
+	return &m, nil
+}
+
+// NewQuery builds a standard query message for (name, type).
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: false},
+		Questions: []Question{{Name: CanonicalName(name), Type: t, Class: ClassIN}},
+	}
+}

@@ -1,0 +1,102 @@
+package dnswire
+
+import "errors"
+
+// edns.go implements the EDNS(0) OPT pseudo-record (RFC 6891). EDNS lets a
+// client advertise a UDP payload size beyond the classic 512-byte limit —
+// the mechanism that made DNSSEC's large responses workable over UDP, and
+// whose absence forces the TCP fallback exercised elsewhere in this
+// repository. (The DNSSEC→big-responses→DNS-over-TCP chain is exactly how
+// the paper explains TCP's dominance among observed attacks, §6.2.)
+
+// TypeOPT is the OPT pseudo-RR type code.
+const TypeOPT Type = 41
+
+// DefaultEDNSPayload is the widely deployed default advertisement
+// (DNS Flag Day 2020 value).
+const DefaultEDNSPayload = 1232
+
+// ClassicMaxPayload is the pre-EDNS UDP payload limit of RFC 1035.
+const ClassicMaxPayload = 512
+
+// EDNS carries the OPT pseudo-record fields the platform uses.
+type EDNS struct {
+	// UDPPayload is the requestor's advertised maximum UDP payload size
+	// (stored in the OPT record's CLASS field).
+	UDPPayload uint16
+	// ExtRCode is the upper 8 bits of the extended response code
+	// (stored in the OPT TTL field).
+	ExtRCode uint8
+	// Version is the EDNS version; only 0 is defined.
+	Version uint8
+	// DO is the DNSSEC-OK bit.
+	DO bool
+}
+
+// errNotOPT is returned when interpreting a non-OPT record as EDNS.
+var errNotOPT = errors.New("dnswire: record is not an OPT pseudo-RR")
+
+// AttachEDNS appends an OPT pseudo-record to the message's additional
+// section, replacing any existing one.
+func (m *Message) AttachEDNS(e EDNS) {
+	filtered := m.Additional[:0]
+	for _, rr := range m.Additional {
+		if rr.Type != TypeOPT {
+			filtered = append(filtered, rr)
+		}
+	}
+	m.Additional = append(filtered, optRR(e))
+}
+
+// optRR packs EDNS fields into the RR wire layout: root owner name, CLASS
+// = payload size, TTL = ext-rcode/version/flags.
+func optRR(e EDNS) RR {
+	var ttl uint32
+	ttl |= uint32(e.ExtRCode) << 24
+	ttl |= uint32(e.Version) << 16
+	if e.DO {
+		ttl |= 1 << 15
+	}
+	return RR{
+		Name:  "",
+		Type:  TypeOPT,
+		Class: Class(e.UDPPayload),
+		TTL:   ttl,
+	}
+}
+
+// ednsOf unpacks an OPT record.
+func ednsOf(rr RR) (EDNS, error) {
+	if rr.Type != TypeOPT {
+		return EDNS{}, errNotOPT
+	}
+	return EDNS{
+		UDPPayload: uint16(rr.Class),
+		ExtRCode:   uint8(rr.TTL >> 24),
+		Version:    uint8(rr.TTL >> 16),
+		DO:         rr.TTL&(1<<15) != 0,
+	}, nil
+}
+
+// EDNS returns the message's OPT pseudo-record, if present.
+func (m *Message) EDNS() (EDNS, bool) {
+	for _, rr := range m.Additional {
+		if rr.Type == TypeOPT {
+			e, err := ednsOf(rr)
+			if err == nil {
+				return e, true
+			}
+		}
+	}
+	return EDNS{}, false
+}
+
+// MaxUDPPayload returns the effective UDP payload budget a responder should
+// honor for this query: the advertised EDNS size (floored at the classic
+// limit) or the classic limit without EDNS.
+func (m *Message) MaxUDPPayload() int {
+	if e, ok := m.EDNS(); ok && int(e.UDPPayload) > ClassicMaxPayload {
+		return int(e.UDPPayload)
+	}
+	return ClassicMaxPayload
+}

@@ -1,0 +1,62 @@
+package dnswire
+
+import "testing"
+
+func TestEDNSAttachAndRead(t *testing.T) {
+	q := NewQuery(1, "example.com", TypeNS)
+	q.AttachEDNS(EDNS{UDPPayload: 1232, DO: true})
+	e, ok := q.EDNS()
+	if !ok || e.UDPPayload != 1232 || !e.DO || e.Version != 0 {
+		t.Fatalf("EDNS = %+v, %v", e, ok)
+	}
+	if q.MaxUDPPayload() != 1232 {
+		t.Errorf("MaxUDPPayload = %d", q.MaxUDPPayload())
+	}
+}
+
+func TestEDNSReplacesExisting(t *testing.T) {
+	q := NewQuery(1, "example.com", TypeNS)
+	q.AttachEDNS(EDNS{UDPPayload: 512})
+	q.AttachEDNS(EDNS{UDPPayload: 4096})
+	count := 0
+	for _, rr := range q.Additional {
+		if rr.Type == TypeOPT {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("OPT records = %d, want 1", count)
+	}
+	if q.MaxUDPPayload() != 4096 {
+		t.Errorf("MaxUDPPayload = %d", q.MaxUDPPayload())
+	}
+}
+
+func TestEDNSWireRoundTrip(t *testing.T) {
+	q := NewQuery(7, "example.nl", TypeNS)
+	q.AttachEDNS(EDNS{UDPPayload: DefaultEDNSPayload, ExtRCode: 0, DO: true})
+	wire, err := Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m.EDNS()
+	if !ok || e.UDPPayload != DefaultEDNSPayload || !e.DO {
+		t.Fatalf("after round trip: %+v, %v", e, ok)
+	}
+}
+
+func TestMaxUDPPayloadDefaults(t *testing.T) {
+	q := NewQuery(1, "example.com", TypeNS)
+	if q.MaxUDPPayload() != ClassicMaxPayload {
+		t.Errorf("without EDNS, payload = %d, want %d", q.MaxUDPPayload(), ClassicMaxPayload)
+	}
+	// an advertisement below the classic limit is floored to it
+	q.AttachEDNS(EDNS{UDPPayload: 100})
+	if q.MaxUDPPayload() != ClassicMaxPayload {
+		t.Errorf("tiny advertisement should floor to %d, got %d", ClassicMaxPayload, q.MaxUDPPayload())
+	}
+}

@@ -1,0 +1,36 @@
+package dnswire_test
+
+import (
+	"fmt"
+
+	"dnsddos/internal/dnswire"
+	"dnsddos/internal/netx"
+)
+
+// Example shows encoding an explicit NS query (the probe OpenINTEL sends,
+// §3.2) and decoding an authoritative answer.
+func Example() {
+	query := dnswire.NewQuery(0x1234, "example.nl", dnswire.TypeNS)
+	wire, _ := dnswire.Encode(query)
+	fmt.Printf("query: %d bytes on the wire\n", len(wire))
+
+	answer := &dnswire.Message{
+		Header: dnswire.Header{ID: 0x1234, Response: true, Authoritative: true},
+		Questions: []dnswire.Question{
+			{Name: "example.nl", Type: dnswire.TypeNS, Class: dnswire.ClassIN},
+		},
+		Answers: []dnswire.RR{
+			{Name: "example.nl", Type: dnswire.TypeNS, Class: dnswire.ClassIN, TTL: 300, NS: "ns1.dns.example"},
+		},
+		Additional: []dnswire.RR{
+			{Name: "ns1.dns.example", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300, A: netx.MustParseAddr("192.0.2.1")},
+		},
+	}
+	wire, _ = dnswire.Encode(answer)
+	decoded, _ := dnswire.Decode(wire)
+	fmt.Printf("answer: %s NS %s (glue %s)\n",
+		decoded.Answers[0].Name, decoded.Answers[0].NS, decoded.Additional[0].A)
+	// Output:
+	// query: 28 bytes on the wire
+	// answer: example.nl NS ns1.dns.example (glue 192.0.2.1)
+}

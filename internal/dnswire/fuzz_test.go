@@ -1,0 +1,75 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+
+	"dnsddos/internal/netx"
+)
+
+// FuzzDecode exercises the wire decoder with arbitrary bytes: it must never
+// panic, and whatever it accepts must re-encode and decode to an equivalent
+// message (for the record types the encoder supports).
+func FuzzDecode(f *testing.F) {
+	// seed corpus: real encodings
+	q := NewQuery(7, "example.nl", TypeNS)
+	if wire, err := Encode(q); err == nil {
+		f.Add(wire)
+	}
+	resp := &Message{
+		Header:    Header{ID: 9, Response: true, Authoritative: true},
+		Questions: []Question{{Name: "a.example", Type: TypeNS, Class: ClassIN}},
+		Answers: []RR{
+			{Name: "a.example", Type: TypeNS, Class: ClassIN, TTL: 60, NS: "ns1.p.example"},
+			{Name: "ns1.p.example", Type: TypeA, Class: ClassIN, TTL: 60, A: netx.MustParseAddr("192.0.2.1")},
+		},
+	}
+	if wire, err := Encode(resp); err == nil {
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 0, 1})
+	f.Add(bytes.Repeat([]byte{0xc0}, 64)) // pointer storms
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// structural sanity of accepted messages
+		if len(m.Questions) != int(m.Header.QDCount) {
+			t.Fatalf("question count mismatch: %d vs %d", len(m.Questions), m.Header.QDCount)
+		}
+		// names must be canonical-izable without growth beyond limits
+		for _, qq := range m.Questions {
+			if len(CanonicalName(qq.Name)) > 255 {
+				t.Fatalf("oversized name survived decode: %d bytes", len(qq.Name))
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip fuzzes structured inputs: any message the
+// encoder accepts must round-trip.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint16(1), "example.com", uint16(TypeNS))
+	f.Add(uint16(0xffff), "a.b.c.d.e", uint16(TypeA))
+	f.Add(uint16(0), "", uint16(TypeTXT))
+	f.Fuzz(func(t *testing.T, id uint16, name string, qtype uint16) {
+		msg := NewQuery(id, name, Type(qtype))
+		wire, err := Encode(msg)
+		if err != nil {
+			return // encoder rejected the name; fine
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if got.Header.ID != id {
+			t.Fatalf("ID changed: %d → %d", id, got.Header.ID)
+		}
+		if len(got.Questions) != 1 || got.Questions[0].Name != CanonicalName(name) {
+			t.Fatalf("question changed: %q → %q", CanonicalName(name), got.Questions[0].Name)
+		}
+	})
+}

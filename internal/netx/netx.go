@@ -1,0 +1,197 @@
+// Package netx provides IPv4 address and prefix utilities used across the
+// telescope, attack-simulation, and DNS-measurement subsystems.
+//
+// The whole reproduction operates on IPv4 only, mirroring the paper: the
+// RSDoS feed is IPv4-only (§4.3, limitation 2). Addresses are represented as
+// uint32 in host byte order for arithmetic (uniform sampling, subnet keys)
+// and converted to netip.Addr at the edges.
+package netx
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"sort"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from four octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) {
+	ip, err := netip.ParseAddr(s)
+	if err != nil {
+		return 0, err
+	}
+	if !ip.Is4() {
+		return 0, fmt.Errorf("netx: %q is not IPv4", s)
+	}
+	b := ip.As4()
+	return AddrFrom4(b[0], b[1], b[2], b[3]), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; for constants in tests
+// and scenario scripts.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Netip converts to a netip.Addr.
+func (a Addr) Netip() netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)})
+}
+
+// String renders the dotted-quad form.
+func (a Addr) String() string { return a.Netip().String() }
+
+// Slash24 returns the /24 prefix key containing a.
+func (a Addr) Slash24() Prefix { return Prefix{Addr: a &^ 0xff, Bits: 24} }
+
+// Slash16 returns the /16 prefix key containing a.
+func (a Addr) Slash16() Prefix { return Prefix{Addr: a &^ 0xffff, Bits: 16} }
+
+// Prefix is an IPv4 CIDR prefix. Addr is the (masked) network address.
+type Prefix struct {
+	Addr Addr
+	Bits int
+}
+
+// ParsePrefix parses CIDR notation, e.g. "192.0.2.0/24".
+func ParsePrefix(s string) (Prefix, error) {
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		return Prefix{}, err
+	}
+	if !p.Addr().Is4() {
+		return Prefix{}, fmt.Errorf("netx: %q is not IPv4", s)
+	}
+	b := p.Masked().Addr().As4()
+	return Prefix{Addr: AddrFrom4(b[0], b[1], b[2], b[3]), Bits: p.Bits()}, nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the network mask of the prefix as an Addr-typed bit pattern.
+func (p Prefix) Mask() Addr {
+	if p.Bits <= 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - uint(p.Bits)))
+}
+
+// Contains reports whether a falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return a&p.Mask() == p.Addr
+}
+
+// Size returns the number of addresses covered by the prefix.
+func (p Prefix) Size() uint64 { return 1 << (32 - uint(p.Bits)) }
+
+// First returns the lowest address in the prefix.
+func (p Prefix) First() Addr { return p.Addr }
+
+// Last returns the highest address in the prefix.
+func (p Prefix) Last() Addr { return p.Addr | ^p.Mask() }
+
+// Nth returns the i-th address of the prefix (0 = network address).
+// It panics if i is out of range.
+func (p Prefix) Nth(i uint64) Addr {
+	if i >= p.Size() {
+		panic("netx: Nth out of prefix range")
+	}
+	return p.Addr + Addr(i)
+}
+
+// String renders CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Addr, p.Bits) }
+
+// Overlaps reports whether two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.Bits <= q.Bits {
+		return p.Contains(q.Addr)
+	}
+	return q.Contains(p.Addr)
+}
+
+// RandomAddr returns a uniformly random address inside the prefix.
+func (p Prefix) RandomAddr(rng *rand.Rand) Addr {
+	return p.Addr + Addr(rng.Uint64N(p.Size()))
+}
+
+// RandomGlobalAddr returns a uniformly random address over the whole IPv4
+// space, the spoofed-source model of an RSDoS attack (§2.1: "randomly (and
+// often uniformly) spoofing the source IP address").
+func RandomGlobalAddr(rng *rand.Rand) Addr {
+	return Addr(rng.Uint32())
+}
+
+// PrefixSet is an immutable set of disjoint prefixes with O(log n) membership
+// tests. It backs the telescope's darknet address space.
+type PrefixSet struct {
+	prefixes []Prefix // sorted by Addr, disjoint
+	total    uint64
+}
+
+// NewPrefixSet builds a set from the given prefixes. Overlapping prefixes are
+// rejected because telescope coverage arithmetic assumes disjointness.
+func NewPrefixSet(prefixes ...Prefix) (*PrefixSet, error) {
+	ps := make([]Prefix, len(prefixes))
+	copy(ps, prefixes)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Addr < ps[j].Addr })
+	var total uint64
+	for i, p := range ps {
+		if i > 0 && ps[i-1].Overlaps(p) {
+			return nil, fmt.Errorf("netx: prefixes %s and %s overlap", ps[i-1], p)
+		}
+		total += p.Size()
+	}
+	return &PrefixSet{prefixes: ps, total: total}, nil
+}
+
+// MustNewPrefixSet is NewPrefixSet that panics on error.
+func MustNewPrefixSet(prefixes ...Prefix) *PrefixSet {
+	s, err := NewPrefixSet(prefixes...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Contains reports whether a falls inside any member prefix.
+func (s *PrefixSet) Contains(a Addr) bool {
+	i := sort.Search(len(s.prefixes), func(i int) bool { return s.prefixes[i].Addr > a })
+	return i > 0 && s.prefixes[i-1].Contains(a)
+}
+
+// Size returns the number of addresses covered by the set.
+func (s *PrefixSet) Size() uint64 { return s.total }
+
+// Prefixes returns the member prefixes in address order.
+func (s *PrefixSet) Prefixes() []Prefix {
+	out := make([]Prefix, len(s.prefixes))
+	copy(out, s.prefixes)
+	return out
+}
+
+// Fraction returns the share of the IPv4 space the set covers. For the UCSD
+// telescope (/9 + /10) this is ≈ 1/341, the interpolation constant used in
+// Table 2 ("21.8kppm × 341 / 60s = 124Kpps").
+func (s *PrefixSet) Fraction() float64 {
+	return float64(s.total) / float64(uint64(1)<<32)
+}

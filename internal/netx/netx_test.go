@@ -1,0 +1,233 @@
+package netx
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"192.0.2.1", AddrFrom4(192, 0, 2, 1), true},
+		{"8.8.8.8", 0x08080808, true},
+		{"::1", 0, false},
+		{"256.0.0.1", 0, false},
+		{"1.2.3", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseAddr should panic on bad input")
+		}
+	}()
+	MustParseAddr("not-an-ip")
+}
+
+func TestSlash24Slash16(t *testing.T) {
+	a := MustParseAddr("198.51.100.77")
+	if got := a.Slash24(); got != MustParsePrefix("198.51.100.0/24") {
+		t.Errorf("Slash24 = %v", got)
+	}
+	if got := a.Slash16(); got != MustParsePrefix("198.51.0.0/16") {
+		t.Errorf("Slash16 = %v", got)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("10.20.0.0/16")
+	for _, in := range []string{"10.20.0.0", "10.20.255.255", "10.20.128.1"} {
+		if !p.Contains(MustParseAddr(in)) {
+			t.Errorf("%v should contain %s", p, in)
+		}
+	}
+	for _, out := range []string{"10.21.0.0", "10.19.255.255", "11.20.0.0"} {
+		if p.Contains(MustParseAddr(out)) {
+			t.Errorf("%v should not contain %s", p, out)
+		}
+	}
+}
+
+func TestPrefixContainsProperty(t *testing.T) {
+	// every prefix contains exactly the addresses sharing its masked bits
+	f := func(v uint32, bits uint8) bool {
+		b := int(bits % 33)
+		p := Prefix{Addr: Addr(v) & Prefix{Bits: b}.Mask(), Bits: b}
+		return p.Contains(p.First()) && p.Contains(p.Last()) &&
+			(b == 0 || !p.Contains(p.Last()+1) || p.Last() == 0xffffffff)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixParseMasksHostBits(t *testing.T) {
+	p, err := ParsePrefix("192.0.2.99/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr != MustParseAddr("192.0.2.0") {
+		t.Errorf("host bits not masked: %v", p.Addr)
+	}
+}
+
+func TestPrefixSize(t *testing.T) {
+	cases := []struct {
+		cidr string
+		size uint64
+	}{
+		{"0.0.0.0/0", 1 << 32},
+		{"44.0.0.0/9", 1 << 23},
+		{"44.128.0.0/10", 1 << 22},
+		{"192.0.2.0/24", 256},
+		{"192.0.2.1/32", 1},
+	}
+	for _, c := range cases {
+		if got := MustParsePrefix(c.cidr).Size(); got != c.size {
+			t.Errorf("%s size = %d, want %d", c.cidr, got, c.size)
+		}
+	}
+}
+
+func TestPrefixNth(t *testing.T) {
+	p := MustParsePrefix("192.0.2.0/24")
+	if p.Nth(0) != p.First() {
+		t.Error("Nth(0) != First")
+	}
+	if p.Nth(255) != p.Last() {
+		t.Error("Nth(255) != Last")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Nth out of range should panic")
+		}
+	}()
+	p.Nth(256)
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.5.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes should overlap both ways")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint prefixes should not overlap")
+	}
+}
+
+func TestPrefixRandomAddrInRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	p := MustParsePrefix("172.16.4.0/22")
+	for i := 0; i < 1000; i++ {
+		if a := p.RandomAddr(rng); !p.Contains(a) {
+			t.Fatalf("RandomAddr produced %v outside %v", a, p)
+		}
+	}
+}
+
+func TestPrefixSetRejectsOverlap(t *testing.T) {
+	_, err := NewPrefixSet(MustParsePrefix("10.0.0.0/8"), MustParsePrefix("10.128.0.0/9"))
+	if err == nil {
+		t.Error("overlapping prefixes should be rejected")
+	}
+}
+
+func TestPrefixSetContains(t *testing.T) {
+	s := MustNewPrefixSet(
+		MustParsePrefix("44.0.0.0/9"),
+		MustParsePrefix("44.128.0.0/10"),
+	)
+	in := []string{"44.0.0.1", "44.127.255.255", "44.128.0.0", "44.191.255.255"}
+	out := []string{"43.255.255.255", "44.192.0.0", "45.0.0.0", "8.8.8.8"}
+	for _, a := range in {
+		if !s.Contains(MustParseAddr(a)) {
+			t.Errorf("set should contain %s", a)
+		}
+	}
+	for _, a := range out {
+		if s.Contains(MustParseAddr(a)) {
+			t.Errorf("set should not contain %s", a)
+		}
+	}
+	if s.Size() != (1<<23)+(1<<22) {
+		t.Errorf("Size = %d", s.Size())
+	}
+}
+
+func TestPrefixSetFractionUCSD(t *testing.T) {
+	s := MustNewPrefixSet(MustParsePrefix("44.0.0.0/9"), MustParsePrefix("44.128.0.0/10"))
+	// the paper's interpolation constant: ≈1/341 of IPv4 (Table 2 note)
+	scale := 1 / s.Fraction()
+	if scale < 341 || scale > 342 {
+		t.Errorf("scale factor = %.2f, want ≈341.3", scale)
+	}
+}
+
+func TestPrefixSetContainsMatchesLinear(t *testing.T) {
+	prefixes := []Prefix{
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("44.0.0.0/9"),
+		MustParsePrefix("192.0.2.0/24"),
+		MustParsePrefix("198.51.100.0/24"),
+	}
+	s := MustNewPrefixSet(prefixes...)
+	f := func(v uint32) bool {
+		a := Addr(v)
+		linear := false
+		for _, p := range prefixes {
+			if p.Contains(a) {
+				linear = true
+			}
+		}
+		return s.Contains(a) == linear
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGlobalAddrCoversSpace(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	var lowHalf int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if RandomGlobalAddr(rng) < 1<<31 {
+			lowHalf++
+		}
+	}
+	// uniformity sanity: within 5σ of half
+	if lowHalf < n/2-5*50 || lowHalf > n/2+5*50 {
+		t.Errorf("low-half count %d of %d not uniform", lowHalf, n)
+	}
+}

@@ -1,0 +1,53 @@
+package nsset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+)
+
+func BenchmarkKeyOf(b *testing.B) {
+	addrs := []netx.Addr{0x51000001, 0x51000101, 0x51000201, 0x51000301}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = KeyOf(addrs)
+	}
+}
+
+func BenchmarkAggregatorAdd(b *testing.B) {
+	agg := NewAggregator()
+	keys := make([]Key, 64)
+	for i := range keys {
+		keys[i] = KeyOf([]netx.Addr{netx.Addr(0x51000001 + i), netx.Addr(0x51000101 + i)})
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	times := make([]time.Time, 1024)
+	for i := range times {
+		times[i] = clock.StudyStart.Add(time.Duration(rng.IntN(86400*30)) * time.Second)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Add(keys[i%len(keys)], times[i%len(times)], StatusOK, 10*time.Millisecond)
+	}
+}
+
+func BenchmarkImpactOnRTT(b *testing.B) {
+	agg := NewAggregator()
+	k := KeyOf([]netx.Addr{1, 2, 3})
+	day := clock.Day(40)
+	for i := 0; i < 100; i++ {
+		agg.Add(k, day.Prev().Start().Add(time.Duration(i)*time.Minute), StatusOK, 10*time.Millisecond)
+		agg.Add(k, day.Start().Add(time.Duration(i)*time.Minute), StatusOK, 25*time.Millisecond)
+	}
+	w := clock.WindowOf(day.Start())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := agg.ImpactOnRTT(k, w); !ok {
+			b.Fatal("impact undefined")
+		}
+	}
+}

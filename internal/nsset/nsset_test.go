@@ -1,0 +1,298 @@
+package nsset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+)
+
+func addrs(ss ...string) []netx.Addr {
+	out := make([]netx.Addr, len(ss))
+	for i, s := range ss {
+		out[i] = netx.MustParseAddr(s)
+	}
+	return out
+}
+
+func TestKeyOfOrderIndependent(t *testing.T) {
+	a := KeyOf(addrs("192.0.2.1", "192.0.2.2", "198.51.100.1"))
+	b := KeyOf(addrs("198.51.100.1", "192.0.2.2", "192.0.2.1"))
+	if a != b {
+		t.Error("key should not depend on input order")
+	}
+}
+
+func TestKeyOfDedup(t *testing.T) {
+	a := KeyOf(addrs("192.0.2.1", "192.0.2.1", "192.0.2.2"))
+	if a.Size() != 2 {
+		t.Errorf("size = %d, want 2", a.Size())
+	}
+}
+
+func TestKeyAddrsRoundTrip(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		in := make([]netx.Addr, len(vals))
+		for i, v := range vals {
+			in[i] = netx.Addr(v)
+		}
+		k := KeyOf(in)
+		out := k.Addrs()
+		// output sorted, unique, subset check both ways
+		seen := map[netx.Addr]bool{}
+		for _, a := range in {
+			seen[a] = true
+		}
+		if len(out) != len(seen) {
+			return false
+		}
+		for i, a := range out {
+			if !seen[a] {
+				return false
+			}
+			if i > 0 && out[i-1] >= a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyContains(t *testing.T) {
+	k := KeyOf(addrs("192.0.2.1", "192.0.2.2"))
+	if !k.Contains(netx.MustParseAddr("192.0.2.1")) {
+		t.Error("should contain member")
+	}
+	if k.Contains(netx.MustParseAddr("192.0.2.3")) {
+		t.Error("should not contain non-member")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := KeyOf(addrs("192.0.2.2", "192.0.2.1"))
+	if got := k.String(); got != "{192.0.2.1, 192.0.2.2}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDiversityClass(t *testing.T) {
+	cases := []struct {
+		d    Diversity
+		want AnycastClass
+	}{
+		{Diversity{NumNS: 3, NumAnycast: 0}, Unicast},
+		{Diversity{NumNS: 3, NumAnycast: 1}, PartialAnycast},
+		{Diversity{NumNS: 3, NumAnycast: 3}, FullAnycast},
+	}
+	for _, c := range cases {
+		if got := c.d.Class(); got != c.want {
+			t.Errorf("%+v class = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestWindowMetrics(t *testing.T) {
+	var m WindowMetrics
+	m.addSample(StatusOK, 10*time.Millisecond)
+	m.addSample(StatusOK, 30*time.Millisecond)
+	m.addSample(StatusTimeout, 0)
+	m.addSample(StatusServFail, 0)
+	if m.Domains != 4 || m.OKCount != 2 || m.Timeouts != 1 || m.ServFails != 1 {
+		t.Errorf("counts: %+v", m)
+	}
+	if m.AvgRTT() != 20*time.Millisecond {
+		t.Errorf("AvgRTT = %v", m.AvgRTT())
+	}
+	if m.MinRTT != 10*time.Millisecond || m.MaxRTT != 30*time.Millisecond {
+		t.Errorf("min/max = %v/%v", m.MinRTT, m.MaxRTT)
+	}
+	if m.FailureRate() != 0.5 {
+		t.Errorf("FailureRate = %v", m.FailureRate())
+	}
+}
+
+func TestAggregatorWindowsAndBaselines(t *testing.T) {
+	agg := NewAggregator()
+	k := KeyOf(addrs("192.0.2.1"))
+	day0 := clock.StudyStart
+	// day 0: baseline at 10ms
+	for i := 0; i < 10; i++ {
+		agg.Add(k, day0.Add(time.Duration(i)*time.Hour), StatusOK, 10*time.Millisecond)
+	}
+	// day 1: one window at 100ms
+	attackTime := day0.AddDate(0, 0, 1).Add(12 * time.Hour)
+	agg.Add(k, attackTime, StatusOK, 100*time.Millisecond)
+	agg.Add(k, attackTime.Add(time.Minute), StatusOK, 100*time.Millisecond)
+
+	w := clock.WindowOf(attackTime)
+	imp, ok := agg.ImpactOnRTT(k, w)
+	if !ok {
+		t.Fatal("impact should be defined")
+	}
+	if imp < 9.9 || imp > 10.1 {
+		t.Errorf("impact = %v, want ≈10", imp)
+	}
+
+	if b := agg.Baseline(k, 0); b == nil || b.OKCount != 10 || b.AvgRTT() != 10*time.Millisecond {
+		t.Errorf("baseline = %+v", b)
+	}
+	if m := agg.Window(k, w); m == nil || m.Domains != 2 {
+		t.Errorf("window = %+v", m)
+	}
+}
+
+func TestImpactUndefinedWithoutBaseline(t *testing.T) {
+	agg := NewAggregator()
+	k := KeyOf(addrs("192.0.2.1"))
+	tm := clock.StudyStart.Add(50 * 24 * time.Hour)
+	agg.Add(k, tm, StatusOK, 5*time.Millisecond)
+	if _, ok := agg.ImpactOnRTT(k, clock.WindowOf(tm)); ok {
+		t.Error("impact without previous-day baseline should be undefined")
+	}
+	// all-timeout window: no RTT either
+	agg.Add(k, tm.AddDate(0, 0, -1), StatusOK, 5*time.Millisecond)
+	tm2 := tm.Add(time.Hour)
+	agg.Add(k, tm2, StatusTimeout, 0)
+	if _, ok := agg.ImpactOnRTT(k, clock.WindowOf(tm2)); ok {
+		t.Error("impact of an all-failure window should be undefined")
+	}
+}
+
+func TestImpactVsDayMatchesDefault(t *testing.T) {
+	agg := NewAggregator()
+	k := KeyOf(addrs("10.0.0.1"))
+	tm := clock.StudyStart.AddDate(0, 0, 9).Add(2 * time.Hour)
+	agg.Add(k, tm.AddDate(0, 0, -1), StatusOK, 8*time.Millisecond)
+	agg.Add(k, tm, StatusOK, 24*time.Millisecond)
+	w := clock.WindowOf(tm)
+	a, okA := agg.ImpactOnRTT(k, w)
+	b, okB := agg.ImpactVsDay(k, w, w.Day().Prev())
+	if !okA || !okB || a != b {
+		t.Errorf("ImpactOnRTT=%v,%v ImpactVsDay=%v,%v", a, okA, b, okB)
+	}
+}
+
+func TestWindowFilterKeepsBaselines(t *testing.T) {
+	agg := NewAggregator()
+	agg.SetWindowFilter(func(clock.Window) bool { return false })
+	k := KeyOf(addrs("10.0.0.1"))
+	tm := clock.StudyStart.Add(3 * time.Hour)
+	agg.Add(k, tm, StatusOK, 5*time.Millisecond)
+	if agg.Window(k, clock.WindowOf(tm)) != nil {
+		t.Error("filtered window should not be retained")
+	}
+	if b := agg.Baseline(k, clock.DayOf(tm)); b == nil || b.OKCount != 1 {
+		t.Error("baseline must be retained regardless of filter")
+	}
+}
+
+func TestMergeEquivalentToSequential(t *testing.T) {
+	k := KeyOf(addrs("10.0.0.1", "10.0.0.2"))
+	rng := rand.New(rand.NewPCG(1, 1))
+	type sample struct {
+		t   time.Time
+		st  QueryStatus
+		rtt time.Duration
+	}
+	var samples []sample
+	for i := 0; i < 500; i++ {
+		samples = append(samples, sample{
+			t:   clock.StudyStart.Add(time.Duration(rng.IntN(3*86400)) * time.Second),
+			st:  QueryStatus(rng.IntN(3)),
+			rtt: time.Duration(rng.IntN(50)) * time.Millisecond,
+		})
+	}
+	seq := NewAggregator()
+	for _, s := range samples {
+		seq.Add(k, s.t, s.st, s.rtt)
+	}
+	a1, a2 := NewAggregator(), NewAggregator()
+	for i, s := range samples {
+		if i%2 == 0 {
+			a1.Add(k, s.t, s.st, s.rtt)
+		} else {
+			a2.Add(k, s.t, s.st, s.rtt)
+		}
+	}
+	a1.Merge(a2)
+	for _, wm := range seq.Windows(k) {
+		got := a1.Window(k, wm.Window)
+		if got == nil || *got != *wm {
+			t.Fatalf("window %v: merged %+v != sequential %+v", wm.Window, got, wm)
+		}
+	}
+	for d := clock.Day(0); d < 3; d++ {
+		sb, mb := seq.Baseline(k, d), a1.Baseline(k, d)
+		if (sb == nil) != (mb == nil) {
+			t.Fatalf("day %d baseline presence mismatch", d)
+		}
+		if sb != nil && *sb != *mb {
+			t.Fatalf("day %d baseline %+v != %+v", d, mb, sb)
+		}
+	}
+}
+
+func TestKeysDeterministic(t *testing.T) {
+	agg := NewAggregator()
+	k1 := KeyOf(addrs("10.0.0.2"))
+	k2 := KeyOf(addrs("10.0.0.1"))
+	agg.Add(k1, clock.StudyStart, StatusOK, time.Millisecond)
+	agg.Add(k2, clock.StudyStart, StatusOK, time.Millisecond)
+	keys := agg.Keys()
+	if len(keys) != 2 || keys[0] != k2 || keys[1] != k1 {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusOK.String() != "OK" || StatusTimeout.String() != "TIMEOUT" || StatusServFail.String() != "SERVFAIL" {
+		t.Error("status strings")
+	}
+}
+
+// TestMergeCommutesAndAssociates: sharded aggregation must not depend on
+// merge order (testing/quick over random sample partitions).
+func TestMergeCommutesAndAssociates(t *testing.T) {
+	k := KeyOf(addrs("10.1.0.1"))
+	build := func(seed uint64) (*Aggregator, *Aggregator, *Aggregator) {
+		rng := rand.New(rand.NewPCG(seed, 0x77))
+		parts := []*Aggregator{NewAggregator(), NewAggregator(), NewAggregator()}
+		for i := 0; i < 300; i++ {
+			tm := clock.StudyStart.Add(time.Duration(rng.IntN(2*86400)) * time.Second)
+			parts[rng.IntN(3)].Add(k, tm, QueryStatus(rng.IntN(3)), time.Duration(rng.IntN(40))*time.Millisecond)
+		}
+		return parts[0], parts[1], parts[2]
+	}
+	equal := func(x, y *Aggregator) bool {
+		for _, wm := range x.Windows(k) {
+			o := y.Window(k, wm.Window)
+			if o == nil || *o != *wm {
+				return false
+			}
+		}
+		return len(x.Windows(k)) == len(y.Windows(k))
+	}
+	f := func(seed uint64) bool {
+		a1, b1, c1 := build(seed)
+		a2, b2, c2 := build(seed)
+		// (a ⊕ b) ⊕ c
+		a1.Merge(b1)
+		a1.Merge(c1)
+		// c ⊕ (b ⊕ a)
+		b2.Merge(a2)
+		c2.Merge(b2)
+		return equal(a1, c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

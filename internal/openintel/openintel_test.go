@@ -1,0 +1,173 @@
+package openintel
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"dnsddos/internal/attacksim"
+	"dnsddos/internal/clock"
+	"dnsddos/internal/dnsdb"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/resolver"
+	"dnsddos/internal/simnet"
+)
+
+func testWorld(t *testing.T, domains int) (*dnsdb.DB, *resolver.Resolver) {
+	t.Helper()
+	db := dnsdb.New()
+	pid := db.AddProvider(dnsdb.Provider{Name: "P"})
+	var ids []dnsdb.NameserverID
+	for i := 0; i < 3; i++ {
+		id, err := db.AddNameserver(dnsdb.Nameserver{
+			Addr: netx.Addr(0x0a000001 + i*256), Provider: pid,
+			CapacityPPS: 1e5, BaseRTT: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i < domains; i++ {
+		db.AddDomain(dnsdb.Domain{Name: "d" + string(rune('a'+i%26)) + ".example", NS: ids})
+	}
+	db.Freeze()
+	net := simnet.New(simnet.DefaultParams(), db, attacksim.NewSchedule(nil))
+	return db, resolver.New(resolver.DefaultConfig(), db, net)
+}
+
+func TestRunDayMeasuresEveryDomainOnce(t *testing.T) {
+	db, res := testWorld(t, 40)
+	e := NewEngine(db, res, 1)
+	counts := map[dnsdb.DomainID]int{}
+	e.RunDay(5, nil, func(r Record) { counts[r.Domain]++ })
+	if len(counts) != 40 {
+		t.Fatalf("measured %d domains, want 40", len(counts))
+	}
+	for d, n := range counts {
+		if n != 1 {
+			t.Errorf("domain %d measured %d times", d, n)
+		}
+	}
+}
+
+func TestRunDayTimesInsideDayAndOrdered(t *testing.T) {
+	db, res := testWorld(t, 60)
+	e := NewEngine(db, res, 2)
+	day := clock.Day(10)
+	var prev time.Time
+	e.RunDay(day, nil, func(r Record) {
+		if r.Time.Before(day.Start()) || !r.Time.Before(day.End()) {
+			t.Fatalf("measurement at %v outside day %v", r.Time, day)
+		}
+		if r.Time.Before(prev) {
+			t.Fatal("records not in time order")
+		}
+		prev = r.Time
+	})
+}
+
+func TestSlotsStableAcrossDays(t *testing.T) {
+	db, res := testWorld(t, 10)
+	e := NewEngine(db, res, 3)
+	times := map[dnsdb.DomainID][2]time.Duration{}
+	e.RunDay(0, nil, func(r Record) {
+		v := times[r.Domain]
+		v[0] = r.Time.Sub(clock.Day(0).Start())
+		times[r.Domain] = v
+	})
+	e.RunDay(1, nil, func(r Record) {
+		v := times[r.Domain]
+		v[1] = r.Time.Sub(clock.Day(1).Start())
+		times[r.Domain] = v
+	})
+	for d, v := range times {
+		if v[0] != v[1] {
+			t.Errorf("domain %d slot moved: %v vs %v", d, v[0], v[1])
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	db, res := testWorld(t, 30)
+	run := func() []Record {
+		e := NewEngine(db, res, 7)
+		var out []Record
+		e.RunDay(3, nil, func(r Record) { out = append(out, r) })
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAggregatorIntegration(t *testing.T) {
+	db, res := testWorld(t, 50)
+	e := NewEngine(db, res, 4)
+	agg := nsset.NewAggregator()
+	e.RunRange(0, 1, agg, nil)
+	k := e.NSSetOf(0)
+	b := agg.Baseline(k, 0)
+	if b == nil || b.Domains != 50 {
+		t.Fatalf("baseline = %+v, want 50 domains", b)
+	}
+	if b.AvgRTT() < 5*time.Millisecond || b.AvgRTT() > 30*time.Millisecond {
+		t.Errorf("baseline RTT = %v", b.AvgRTT())
+	}
+}
+
+func TestNSSetOfConsistent(t *testing.T) {
+	db, res := testWorld(t, 5)
+	e := NewEngine(db, res, 5)
+	want := nsset.KeyOf(db.NSAddrs(0))
+	for d := 0; d < 5; d++ {
+		if e.NSSetOf(dnsdb.DomainID(d)) != want {
+			t.Errorf("domain %d NSSet differs", d)
+		}
+	}
+}
+
+func TestMeasureAtRecordsOutcome(t *testing.T) {
+	db, res := testWorld(t, 5)
+	e := NewEngine(db, res, 6)
+	rng := rand.New(rand.NewPCG(1, 1))
+	rec := e.MeasureAt(rng, 2, clock.StudyStart.Add(time.Hour))
+	if rec.Domain != 2 || rec.Status != nsset.StatusOK || rec.RTT <= 0 || rec.Tries != 1 {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestRecordWriterReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	recs := []Record{
+		{Domain: 1, Time: clock.StudyStart.Add(time.Hour), NSSet: nsset.KeyOf([]netx.Addr{1}), Status: nsset.StatusOK, RTT: 12 * time.Millisecond, Tries: 1},
+		{Domain: 2, Time: clock.StudyStart.Add(2 * time.Hour), NSSet: nsset.KeyOf([]netx.Addr{1}), Status: nsset.StatusTimeout, Tries: 3},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []RecordJSON
+	if err := ReadRecords(&buf, func(r RecordJSON) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	if got[0].Domain != 1 || got[0].Status != "OK" || got[0].RTTus != 12000 {
+		t.Errorf("record 0 = %+v", got[0])
+	}
+	if got[1].Status != "TIMEOUT" || got[1].Tries != 3 {
+		t.Errorf("record 1 = %+v", got[1])
+	}
+}

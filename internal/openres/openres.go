@@ -1,0 +1,47 @@
+// Package openres carries the open-resolver address list (the stand-in for
+// the Yazdani et al. scans, §3.3). The paper uses it to filter attacks on
+// public-resolver IPs (8.8.8.8, 8.8.4.4, 1.1.1.1, …) that appear in the
+// authoritative join only because misconfigured domains point NS records at
+// them (§6.1, Table 5).
+package openres
+
+import "dnsddos/internal/netx"
+
+// List is a set of known open-resolver IPv4 addresses.
+type List struct {
+	addrs map[netx.Addr]struct{}
+}
+
+// New builds a list from addresses.
+func New(addrs ...netx.Addr) *List {
+	l := &List{addrs: make(map[netx.Addr]struct{}, len(addrs))}
+	for _, a := range addrs {
+		l.addrs[a] = struct{}{}
+	}
+	return l
+}
+
+// WellKnown returns the public-resolver addresses named in the paper's
+// Table 5 analysis.
+func WellKnown() *List {
+	return New(
+		netx.MustParseAddr("8.8.8.8"),
+		netx.MustParseAddr("8.8.4.4"),
+		netx.MustParseAddr("1.1.1.1"),
+		netx.MustParseAddr("1.0.0.1"),
+		netx.MustParseAddr("9.9.9.9"),
+		netx.MustParseAddr("208.67.222.222"),
+	)
+}
+
+// Add inserts an address.
+func (l *List) Add(a netx.Addr) { l.addrs[a] = struct{}{} }
+
+// Contains reports whether a is a known open resolver.
+func (l *List) Contains(a netx.Addr) bool {
+	_, ok := l.addrs[a]
+	return ok
+}
+
+// Len returns the number of listed resolvers.
+func (l *List) Len() int { return len(l.addrs) }

@@ -1,0 +1,34 @@
+package openres
+
+import (
+	"testing"
+
+	"dnsddos/internal/netx"
+)
+
+func TestWellKnownContainsPublicResolvers(t *testing.T) {
+	l := WellKnown()
+	for _, ip := range []string{"8.8.8.8", "8.8.4.4", "1.1.1.1", "9.9.9.9"} {
+		if !l.Contains(netx.MustParseAddr(ip)) {
+			t.Errorf("WellKnown should contain %s", ip)
+		}
+	}
+	if l.Contains(netx.MustParseAddr("192.0.2.1")) {
+		t.Error("arbitrary address should not be listed")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	l := New()
+	a := netx.MustParseAddr("203.0.113.53")
+	if l.Contains(a) {
+		t.Error("new list should be empty")
+	}
+	l.Add(a)
+	if !l.Contains(a) {
+		t.Error("added address should be contained")
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}

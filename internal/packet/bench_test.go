@@ -1,0 +1,35 @@
+package packet
+
+import (
+	"testing"
+
+	"dnsddos/internal/netx"
+)
+
+func BenchmarkBuildTCP(b *testing.B) {
+	p := Packet{
+		IP: IPv4Header{TTL: 64, Protocol: ProtoTCP,
+			Src: netx.MustParseAddr("192.0.2.1"), Dst: netx.MustParseAddr("44.1.2.3")},
+		TCP: &TCPHeader{SrcPort: 53, DstPort: 40000, Flags: FlagSYN | FlagACK, Window: 65535},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Build()
+	}
+}
+
+func BenchmarkDecodeTCP(b *testing.B) {
+	p := Packet{
+		IP: IPv4Header{TTL: 64, Protocol: ProtoTCP,
+			Src: netx.MustParseAddr("192.0.2.1"), Dst: netx.MustParseAddr("44.1.2.3")},
+		TCP: &TCPHeader{SrcPort: 53, DstPort: 40000, Flags: FlagSYN | FlagACK},
+	}
+	wire := p.Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

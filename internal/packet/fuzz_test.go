@@ -1,0 +1,35 @@
+package packet
+
+import "testing"
+
+// FuzzDecode ensures the IPv4/transport decoder never panics and that
+// whatever it accepts rebuilds into bytes it accepts again.
+func FuzzDecode(f *testing.F) {
+	syn := Packet{
+		IP:  IPv4Header{TTL: 64, Protocol: ProtoTCP, Src: 0x01020304, Dst: 0x2c000001},
+		TCP: &TCPHeader{SrcPort: 40000, DstPort: 53, Flags: FlagSYN},
+	}
+	f.Add(syn.Build())
+	icmp := Packet{
+		IP:   IPv4Header{TTL: 64, Protocol: ProtoICMP, Src: 1, Dst: 2},
+		ICMP: &ICMPHeader{Type: ICMPDestUnreachable, Code: ICMPCodePortUnreach, Rest: 53},
+	}
+	f.Add(icmp.Build())
+	f.Add([]byte{})
+	f.Add([]byte{0x45})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		rebuilt := p.Build()
+		q, err := Decode(rebuilt)
+		if err != nil {
+			t.Fatalf("rebuild not decodable: %v", err)
+		}
+		if q.IP.Src != p.IP.Src || q.IP.Dst != p.IP.Dst || q.IP.Protocol != p.IP.Protocol {
+			t.Fatal("round trip changed addressing")
+		}
+	})
+}

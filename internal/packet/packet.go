@@ -1,0 +1,348 @@
+// Package packet implements encoding and decoding of the IPv4, TCP, UDP and
+// ICMP headers the telescope pipeline works with.
+//
+// The design follows gopacket's layer model in miniature: each header type
+// can Marshal itself to wire bytes and be decoded from them, and Decode
+// parses a raw IPv4 packet into a Packet with typed layers. Only the fields
+// the RSDoS inference consumes are modeled; payloads are carried opaquely.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dnsddos/internal/netx"
+)
+
+// Protocol is the IPv4 protocol number.
+type Protocol uint8
+
+// Protocol numbers used by the attack and backscatter models.
+const (
+	ProtoICMP Protocol = 1
+	ProtoTCP  Protocol = 6
+	ProtoUDP  Protocol = 17
+)
+
+// String renders the conventional protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoICMP:
+		return "ICMP"
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// TCPFlags is the TCP flag byte (we only use the low 6 bits).
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << 0
+	FlagSYN TCPFlags = 1 << 1
+	FlagRST TCPFlags = 1 << 2
+	FlagPSH TCPFlags = 1 << 3
+	FlagACK TCPFlags = 1 << 4
+	FlagURG TCPFlags = 1 << 5
+)
+
+// Has reports whether all bits of f are set.
+func (t TCPFlags) Has(f TCPFlags) bool { return t&f == f }
+
+// String renders set flags, e.g. "SYN|ACK".
+func (t TCPFlags) String() string {
+	names := []struct {
+		f TCPFlags
+		n string
+	}{{FlagFIN, "FIN"}, {FlagSYN, "SYN"}, {FlagRST, "RST"}, {FlagPSH, "PSH"}, {FlagACK, "ACK"}, {FlagURG, "URG"}}
+	out := ""
+	for _, fn := range names {
+		if t.Has(fn.f) {
+			if out != "" {
+				out += "|"
+			}
+			out += fn.n
+		}
+	}
+	if out == "" {
+		return "0"
+	}
+	return out
+}
+
+// IPv4Header is the fixed 20-byte IPv4 header (no options).
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol Protocol
+	Src      netx.Addr
+	Dst      netx.Addr
+}
+
+// IPv4HeaderLen is the length of the option-less IPv4 header.
+const IPv4HeaderLen = 20
+
+// Marshal appends the wire form to b. TotalLen must already cover payload.
+func (h *IPv4Header) Marshal(b []byte) []byte {
+	var w [IPv4HeaderLen]byte
+	w[0] = 0x45 // version 4, IHL 5
+	w[1] = h.TOS
+	binary.BigEndian.PutUint16(w[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(w[4:], h.ID)
+	// flags+fragment offset zero
+	w[8] = h.TTL
+	w[9] = uint8(h.Protocol)
+	binary.BigEndian.PutUint32(w[12:], uint32(h.Src))
+	binary.BigEndian.PutUint32(w[16:], uint32(h.Dst))
+	binary.BigEndian.PutUint16(w[10:], checksum(w[:]))
+	return append(b, w[:]...)
+}
+
+// UnmarshalIPv4 parses an IPv4 header, returning it and the header length.
+func UnmarshalIPv4(b []byte) (IPv4Header, int, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, 0, errors.New("packet: short IPv4 header")
+	}
+	if b[0]>>4 != 4 {
+		return IPv4Header{}, 0, fmt.Errorf("packet: IP version %d", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return IPv4Header{}, 0, errors.New("packet: bad IHL")
+	}
+	return IPv4Header{
+		TOS:      b[1],
+		TotalLen: binary.BigEndian.Uint16(b[2:]),
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		TTL:      b[8],
+		Protocol: Protocol(b[9]),
+		Src:      netx.Addr(binary.BigEndian.Uint32(b[12:])),
+		Dst:      netx.Addr(binary.BigEndian.Uint32(b[16:])),
+	}, ihl, nil
+}
+
+// TCPHeader is the fixed 20-byte TCP header (no options).
+type TCPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   TCPFlags
+	Window  uint16
+}
+
+// TCPHeaderLen is the length of the option-less TCP header.
+const TCPHeaderLen = 20
+
+// Marshal appends the wire form to b.
+func (h *TCPHeader) Marshal(b []byte) []byte {
+	var w [TCPHeaderLen]byte
+	binary.BigEndian.PutUint16(w[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(w[2:], h.DstPort)
+	binary.BigEndian.PutUint32(w[4:], h.Seq)
+	binary.BigEndian.PutUint32(w[8:], h.Ack)
+	w[12] = 5 << 4 // data offset 5 words
+	w[13] = uint8(h.Flags)
+	binary.BigEndian.PutUint16(w[14:], h.Window)
+	// checksum left zero: the simulated wire does not verify it
+	return append(b, w[:]...)
+}
+
+// UnmarshalTCP parses a TCP header.
+func UnmarshalTCP(b []byte) (TCPHeader, error) {
+	if len(b) < TCPHeaderLen {
+		return TCPHeader{}, errors.New("packet: short TCP header")
+	}
+	return TCPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		Seq:     binary.BigEndian.Uint32(b[4:]),
+		Ack:     binary.BigEndian.Uint32(b[8:]),
+		Flags:   TCPFlags(b[13] & 0x3f),
+		Window:  binary.BigEndian.Uint16(b[14:]),
+	}, nil
+}
+
+// UDPHeader is the 8-byte UDP header.
+type UDPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  uint16
+}
+
+// UDPHeaderLen is the UDP header length.
+const UDPHeaderLen = 8
+
+// Marshal appends the wire form to b.
+func (h *UDPHeader) Marshal(b []byte) []byte {
+	var w [UDPHeaderLen]byte
+	binary.BigEndian.PutUint16(w[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(w[2:], h.DstPort)
+	binary.BigEndian.PutUint16(w[4:], h.Length)
+	return append(b, w[:]...)
+}
+
+// UnmarshalUDP parses a UDP header.
+func UnmarshalUDP(b []byte) (UDPHeader, error) {
+	if len(b) < UDPHeaderLen {
+		return UDPHeader{}, errors.New("packet: short UDP header")
+	}
+	return UDPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		Length:  binary.BigEndian.Uint16(b[4:]),
+	}, nil
+}
+
+// ICMP types the backscatter model emits.
+const (
+	ICMPEchoReply          = 0
+	ICMPDestUnreachable    = 3
+	ICMPTimeExceeded       = 11
+	ICMPCodePortUnreach    = 3
+	ICMPCodeHostUnreach    = 1
+	ICMPCodeNetUnreachable = 0
+)
+
+// ICMPHeader is the 8-byte ICMP header.
+type ICMPHeader struct {
+	Type uint8
+	Code uint8
+	// Rest carries the 4 type-specific bytes (unused by the inference).
+	Rest uint32
+}
+
+// ICMPHeaderLen is the ICMP header length.
+const ICMPHeaderLen = 8
+
+// Marshal appends the wire form to b.
+func (h *ICMPHeader) Marshal(b []byte) []byte {
+	var w [ICMPHeaderLen]byte
+	w[0] = h.Type
+	w[1] = h.Code
+	binary.BigEndian.PutUint32(w[4:], h.Rest)
+	binary.BigEndian.PutUint16(w[2:], checksum(w[:]))
+	return append(b, w[:]...)
+}
+
+// UnmarshalICMP parses an ICMP header.
+func UnmarshalICMP(b []byte) (ICMPHeader, error) {
+	if len(b) < ICMPHeaderLen {
+		return ICMPHeader{}, errors.New("packet: short ICMP header")
+	}
+	return ICMPHeader{Type: b[0], Code: b[1], Rest: binary.BigEndian.Uint32(b[4:])}, nil
+}
+
+// Packet is a decoded IPv4 packet with at most one transport layer.
+type Packet struct {
+	IP      IPv4Header
+	TCP     *TCPHeader
+	UDP     *UDPHeader
+	ICMP    *ICMPHeader
+	Payload []byte
+}
+
+// Build assembles the wire bytes of the packet, fixing up length fields.
+func (p *Packet) Build() []byte {
+	var transport []byte
+	switch {
+	case p.TCP != nil:
+		transport = p.TCP.Marshal(nil)
+	case p.UDP != nil:
+		u := *p.UDP
+		u.Length = uint16(UDPHeaderLen + len(p.Payload))
+		transport = u.Marshal(nil)
+	case p.ICMP != nil:
+		transport = p.ICMP.Marshal(nil)
+	}
+	ip := p.IP
+	ip.TotalLen = uint16(IPv4HeaderLen + len(transport) + len(p.Payload))
+	out := ip.Marshal(nil)
+	out = append(out, transport...)
+	return append(out, p.Payload...)
+}
+
+// Decode parses raw IPv4 packet bytes into a Packet. Unknown transport
+// protocols leave the payload attached raw with no transport layer set.
+func Decode(b []byte) (Packet, error) {
+	ip, ihl, err := UnmarshalIPv4(b)
+	if err != nil {
+		return Packet{}, err
+	}
+	p := Packet{IP: ip}
+	rest := b[ihl:]
+	if int(ip.TotalLen) >= ihl && int(ip.TotalLen) <= len(b) {
+		rest = b[ihl:ip.TotalLen]
+	}
+	switch ip.Protocol {
+	case ProtoTCP:
+		h, err := UnmarshalTCP(rest)
+		if err != nil {
+			return Packet{}, err
+		}
+		p.TCP = &h
+		p.Payload = rest[TCPHeaderLen:]
+	case ProtoUDP:
+		h, err := UnmarshalUDP(rest)
+		if err != nil {
+			return Packet{}, err
+		}
+		p.UDP = &h
+		p.Payload = rest[UDPHeaderLen:]
+	case ProtoICMP:
+		h, err := UnmarshalICMP(rest)
+		if err != nil {
+			return Packet{}, err
+		}
+		p.ICMP = &h
+		p.Payload = rest[ICMPHeaderLen:]
+	default:
+		p.Payload = rest
+	}
+	return p, nil
+}
+
+// SrcPort returns the transport source port, or 0 for ICMP/unknown.
+func (p *Packet) SrcPort() uint16 {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.SrcPort
+	case p.UDP != nil:
+		return p.UDP.SrcPort
+	}
+	return 0
+}
+
+// DstPort returns the transport destination port, or 0 for ICMP/unknown.
+func (p *Packet) DstPort() uint16 {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.DstPort
+	case p.UDP != nil:
+		return p.UDP.DstPort
+	}
+	return 0
+}
+
+// checksum is the RFC 1071 internet checksum with the checksum field zeroed.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}

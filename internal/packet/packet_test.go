@@ -1,0 +1,215 @@
+package packet
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dnsddos/internal/netx"
+)
+
+func TestProtocolString(t *testing.T) {
+	cases := map[Protocol]string{ProtoICMP: "ICMP", ProtoTCP: "TCP", ProtoUDP: "UDP", 99: "proto(99)"}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestTCPFlagsString(t *testing.T) {
+	if got := (FlagSYN | FlagACK).String(); got != "SYN|ACK" {
+		t.Errorf("flags = %q", got)
+	}
+	if got := TCPFlags(0).String(); got != "0" {
+		t.Errorf("zero flags = %q", got)
+	}
+	if !(FlagSYN | FlagACK).Has(FlagSYN) {
+		t.Error("Has(SYN)")
+	}
+	if (FlagSYN).Has(FlagSYN | FlagACK) {
+		t.Error("Has should require all bits")
+	}
+}
+
+func TestTCPPacketRoundTrip(t *testing.T) {
+	p := Packet{
+		IP: IPv4Header{
+			TOS: 0, TTL: 64, Protocol: ProtoTCP,
+			Src: netx.MustParseAddr("192.0.2.1"),
+			Dst: netx.MustParseAddr("198.51.100.2"),
+			ID:  0x1234,
+		},
+		TCP: &TCPHeader{
+			SrcPort: 53, DstPort: 40000, Seq: 7, Ack: 8,
+			Flags: FlagSYN | FlagACK, Window: 65535,
+		},
+	}
+	wire := p.Build()
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IP.Src != p.IP.Src || got.IP.Dst != p.IP.Dst || got.IP.Protocol != ProtoTCP {
+		t.Errorf("IP round trip: %+v", got.IP)
+	}
+	if got.TCP == nil || *got.TCP != *p.TCP {
+		t.Errorf("TCP round trip: %+v", got.TCP)
+	}
+	if got.SrcPort() != 53 || got.DstPort() != 40000 {
+		t.Errorf("ports = %d,%d", got.SrcPort(), got.DstPort())
+	}
+}
+
+func TestUDPPacketRoundTripWithPayload(t *testing.T) {
+	p := Packet{
+		IP: IPv4Header{TTL: 63, Protocol: ProtoUDP,
+			Src: netx.MustParseAddr("10.0.0.1"), Dst: netx.MustParseAddr("10.0.0.2")},
+		UDP:     &UDPHeader{SrcPort: 53, DstPort: 1234},
+		Payload: []byte("dns-reply"),
+	}
+	wire := p.Build()
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UDP == nil || got.UDP.SrcPort != 53 || got.UDP.DstPort != 1234 {
+		t.Fatalf("UDP header: %+v", got.UDP)
+	}
+	if got.UDP.Length != uint16(UDPHeaderLen+len(p.Payload)) {
+		t.Errorf("UDP length = %d", got.UDP.Length)
+	}
+	if string(got.Payload) != "dns-reply" {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestICMPPacketRoundTrip(t *testing.T) {
+	p := Packet{
+		IP: IPv4Header{TTL: 64, Protocol: ProtoICMP,
+			Src: netx.MustParseAddr("10.0.0.1"), Dst: netx.MustParseAddr("44.1.2.3")},
+		ICMP: &ICMPHeader{Type: ICMPDestUnreachable, Code: ICMPCodePortUnreach, Rest: 53},
+	}
+	got, err := Decode(p.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ICMP == nil || got.ICMP.Type != ICMPDestUnreachable || got.ICMP.Rest != 53 {
+		t.Fatalf("ICMP: %+v", got.ICMP)
+	}
+	if got.SrcPort() != 0 || got.DstPort() != 0 {
+		t.Error("ICMP has no ports")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil input should fail")
+	}
+	if _, err := Decode(make([]byte, 10)); err == nil {
+		t.Error("short input should fail")
+	}
+	bad := make([]byte, 20)
+	bad[0] = 0x65 // version 6
+	if _, err := Decode(bad); err == nil {
+		t.Error("wrong version should fail")
+	}
+	badIHL := make([]byte, 20)
+	badIHL[0] = 0x42 // version 4, IHL 2 words
+	if _, err := Decode(badIHL); err == nil {
+		t.Error("bad IHL should fail")
+	}
+	// valid IP header claiming TCP but truncated transport
+	p := Packet{IP: IPv4Header{Protocol: ProtoTCP, TTL: 1}}
+	wire := p.IP.Marshal(nil)
+	wire[9] = byte(ProtoTCP)
+	if _, err := Decode(wire); err == nil {
+		t.Error("truncated TCP should fail")
+	}
+}
+
+func TestDecodeRespectsTotalLen(t *testing.T) {
+	p := Packet{
+		IP:      IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: 1, Dst: 2},
+		UDP:     &UDPHeader{SrcPort: 1, DstPort: 2},
+		Payload: []byte("abc"),
+	}
+	wire := p.Build()
+	// padded capture (e.g. minimum frame size)
+	padded := append(wire, make([]byte, 8)...)
+	got, err := Decode(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "abc" {
+		t.Errorf("payload with padding = %q", got.Payload)
+	}
+}
+
+func TestChecksumValid(t *testing.T) {
+	h := IPv4Header{TTL: 64, Protocol: ProtoTCP, Src: 0x01020304, Dst: 0x05060708, TotalLen: 40}
+	wire := h.Marshal(nil)
+	// RFC 1071: summing the header including its checksum gives 0xffff
+	var sum uint32
+	for i := 0; i+1 < len(wire); i += 2 {
+		sum += uint32(wire[i])<<8 | uint32(wire[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	if uint16(sum) != 0xffff {
+		t.Errorf("header checksum invalid: sum = %#x", sum)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		p := Packet{
+			IP: IPv4Header{
+				TOS: uint8(rng.Uint32()), TTL: uint8(rng.Uint32()),
+				ID:  uint16(rng.Uint32()),
+				Src: netx.Addr(rng.Uint32()), Dst: netx.Addr(rng.Uint32()),
+			},
+		}
+		switch rng.IntN(3) {
+		case 0:
+			p.IP.Protocol = ProtoTCP
+			p.TCP = &TCPHeader{
+				SrcPort: uint16(rng.Uint32()), DstPort: uint16(rng.Uint32()),
+				Seq: rng.Uint32(), Ack: rng.Uint32(),
+				Flags: TCPFlags(rng.Uint32() & 0x3f), Window: uint16(rng.Uint32()),
+			}
+		case 1:
+			p.IP.Protocol = ProtoUDP
+			p.UDP = &UDPHeader{SrcPort: uint16(rng.Uint32()), DstPort: uint16(rng.Uint32())}
+			n := rng.IntN(64)
+			p.Payload = make([]byte, n)
+			for i := range p.Payload {
+				p.Payload[i] = byte(rng.Uint32())
+			}
+		default:
+			p.IP.Protocol = ProtoICMP
+			p.ICMP = &ICMPHeader{Type: uint8(rng.Uint32()), Code: uint8(rng.Uint32()), Rest: rng.Uint32()}
+		}
+		got, err := Decode(p.Build())
+		if err != nil {
+			return false
+		}
+		if got.IP.Src != p.IP.Src || got.IP.Dst != p.IP.Dst || got.IP.TTL != p.IP.TTL {
+			return false
+		}
+		switch {
+		case p.TCP != nil:
+			return got.TCP != nil && *got.TCP == *p.TCP
+		case p.UDP != nil:
+			return got.UDP != nil && got.UDP.SrcPort == p.UDP.SrcPort &&
+				got.UDP.DstPort == p.UDP.DstPort && string(got.Payload) == string(p.Payload)
+		default:
+			return got.ICMP != nil && *got.ICMP == *p.ICMP
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

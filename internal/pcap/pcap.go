@@ -1,0 +1,160 @@
+// Package pcap reads and writes libpcap capture files (the classic
+// tcpdump format, magic 0xa1b2c3d4, microsecond timestamps) with the
+// LINKTYPE_RAW link type, i.e. records begin directly with the IPv4 header.
+//
+// The telescope persists its captured backscatter in this format so captures
+// can be inspected with standard tooling, and the RSDoS inference can be run
+// offline from a file, mirroring how CAIDA curates the raw UCSD-NT data into
+// the RSDoS feed.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+const (
+	magicMicros  = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	// LinkTypeRaw means packets start at the IP header.
+	LinkTypeRaw = 101
+	// MaxSnapLen is the snapshot length written into file headers.
+	MaxSnapLen = 262144
+)
+
+// Record is one captured packet.
+type Record struct {
+	Time time.Time
+	// OrigLen is the length of the packet on the wire; len(Data) may be
+	// smaller if the capture was truncated to the snap length.
+	OrigLen int
+	Data    []byte
+}
+
+// Writer writes pcap files.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the file header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], magicMicros)
+	le.PutUint16(hdr[4:], versionMajor)
+	le.PutUint16(hdr[6:], versionMinor)
+	// thiszone, sigfigs zero
+	le.PutUint32(hdr[16:], MaxSnapLen)
+	le.PutUint32(hdr[20:], LinkTypeRaw)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	// flush so an empty capture is still a valid pcap file
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WriteRecord appends one packet record.
+func (w *Writer) WriteRecord(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(r.Data) > MaxSnapLen {
+		w.err = fmt.Errorf("pcap: record of %d bytes exceeds snap length", len(r.Data))
+		return w.err
+	}
+	var hdr [16]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], uint32(r.Time.Unix()))
+	le.PutUint32(hdr[4:], uint32(r.Time.Nanosecond()/1000))
+	le.PutUint32(hdr[8:], uint32(len(r.Data)))
+	orig := r.OrigLen
+	if orig < len(r.Data) {
+		orig = len(r.Data)
+	}
+	le.PutUint32(hdr[12:], uint32(orig))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(r.Data); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader reads pcap files written by this package (and any little-endian
+// microsecond-resolution pcap with a raw link type).
+type Reader struct {
+	r        *bufio.Reader
+	LinkType uint32
+	SnapLen  uint32
+}
+
+// NewReader parses the file header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading file header: %w", err)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(hdr[0:]) != magicMicros {
+		return nil, errors.New("pcap: unsupported magic (want little-endian microsecond pcap)")
+	}
+	if maj := le.Uint16(hdr[4:]); maj != versionMajor {
+		return nil, fmt.Errorf("pcap: unsupported version %d", maj)
+	}
+	return &Reader{
+		r:        br,
+		SnapLen:  le.Uint32(hdr[16:]),
+		LinkType: le.Uint32(hdr[20:]),
+	}, nil
+}
+
+// ReadRecord reads the next packet record. It returns io.EOF cleanly at end
+// of file.
+func (r *Reader) ReadRecord() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcap: reading record header: %w", err)
+	}
+	le := binary.LittleEndian
+	sec := le.Uint32(hdr[0:])
+	usec := le.Uint32(hdr[4:])
+	caplen := le.Uint32(hdr[8:])
+	origlen := le.Uint32(hdr[12:])
+	if caplen > MaxSnapLen {
+		return Record{}, fmt.Errorf("pcap: record capture length %d too large", caplen)
+	}
+	data := make([]byte, caplen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: reading record body: %w", err)
+	}
+	return Record{
+		Time:    time.Unix(int64(sec), int64(usec)*1000).UTC(),
+		OrigLen: int(origlen),
+		Data:    data,
+	}, nil
+}

@@ -1,0 +1,165 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Time: time.Unix(1606780800, 123000).UTC(), Data: []byte{1, 2, 3, 4}},
+		{Time: time.Unix(1606780801, 999000).UTC(), Data: []byte{}, OrigLen: 0},
+		{Time: time.Unix(1606780802, 0).UTC(), Data: bytes.Repeat([]byte{0xaa}, 1500), OrigLen: 9000},
+	}
+	for _, r := range recs {
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeRaw {
+		t.Errorf("link type = %d", r.LinkType)
+	}
+	if r.SnapLen != MaxSnapLen {
+		t.Errorf("snap len = %d", r.SnapLen)
+	}
+	for i, want := range recs {
+		got, err := r.ReadRecord()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !got.Time.Equal(want.Time) {
+			t.Errorf("record %d time = %v, want %v", i, got.Time, want.Time)
+		}
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Errorf("record %d data mismatch", i)
+		}
+		wantOrig := want.OrigLen
+		if wantOrig < len(want.Data) {
+			wantOrig = len(want.Data)
+		}
+		if got.OrigLen != wantOrig {
+			t.Errorf("record %d origlen = %d, want %d", i, got.OrigLen, wantOrig)
+		}
+	}
+	if _, err := r.ReadRecord(); err != io.EOF {
+		t.Errorf("after last record err = %v, want EOF", err)
+	}
+}
+
+func TestFileHeaderBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()
+	if len(hdr) != 24 {
+		t.Fatalf("header length = %d", len(hdr))
+	}
+	// little-endian magic 0xa1b2c3d4
+	if hdr[0] != 0xd4 || hdr[1] != 0xc3 || hdr[2] != 0xb2 || hdr[3] != 0xa1 {
+		t.Errorf("magic bytes = % x", hdr[:4])
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	bad := make([]byte, 24)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("zero magic should be rejected")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("short header should be rejected")
+	}
+}
+
+func TestWriterRejectsOversizeRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := Record{Time: time.Now(), Data: make([]byte, MaxSnapLen+1)}
+	if err := w.WriteRecord(big); err == nil {
+		t.Error("oversize record should be rejected")
+	}
+	// the writer is now poisoned
+	if err := w.WriteRecord(Record{Time: time.Now(), Data: []byte{1}}); err == nil {
+		t.Error("writer should stay in error state")
+	}
+}
+
+func TestReaderTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.WriteRecord(Record{Time: time.Now(), Data: []byte{1, 2, 3, 4, 5}})
+	_ = w.Flush()
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadRecord(); err == nil || err == io.EOF {
+		t.Errorf("truncated body err = %v, want real error", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		n := rng.IntN(20)
+		var recs []Record
+		for i := 0; i < n; i++ {
+			data := make([]byte, rng.IntN(200))
+			for j := range data {
+				data[j] = byte(rng.Uint32())
+			}
+			rec := Record{
+				Time: time.Unix(int64(rng.Uint32()), int64(rng.IntN(1_000_000))*1000).UTC(),
+				Data: data,
+			}
+			recs = append(recs, rec)
+			if err := w.WriteRecord(rec); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		for _, want := range recs {
+			got, err := r.ReadRecord()
+			if err != nil || !got.Time.Equal(want.Time) || !bytes.Equal(got.Data, want.Data) {
+				return false
+			}
+		}
+		_, err = r.ReadRecord()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

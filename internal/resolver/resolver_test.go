@@ -1,0 +1,183 @@
+package resolver
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"dnsddos/internal/dnsdb"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/nsset"
+)
+
+// fakeTransport scripts per-nameserver outcomes.
+type fakeTransport struct {
+	outcomes map[dnsdb.NameserverID]func() (nsset.QueryStatus, time.Duration)
+	calls    []dnsdb.NameserverID
+}
+
+func (f *fakeTransport) Query(_ *rand.Rand, id dnsdb.NameserverID, _ time.Time) (nsset.QueryStatus, time.Duration) {
+	f.calls = append(f.calls, id)
+	if fn, ok := f.outcomes[id]; ok {
+		return fn()
+	}
+	return nsset.StatusOK, 10 * time.Millisecond
+}
+
+func ok(rtt time.Duration) func() (nsset.QueryStatus, time.Duration) {
+	return func() (nsset.QueryStatus, time.Duration) { return nsset.StatusOK, rtt }
+}
+
+func fail(st nsset.QueryStatus) func() (nsset.QueryStatus, time.Duration) {
+	return func() (nsset.QueryStatus, time.Duration) { return st, 0 }
+}
+
+func TestResolveSuccessFirstTry(t *testing.T) {
+	db, did := testDBSimple(t, 3)
+	tr := &fakeTransport{outcomes: map[dnsdb.NameserverID]func() (nsset.QueryStatus, time.Duration){}}
+	r := New(DefaultConfig(), db, tr)
+	o := r.Resolve(rand.New(rand.NewPCG(1, 1)), did, time.Now())
+	if o.Status != nsset.StatusOK || o.Tries != 1 || o.RTT != 10*time.Millisecond {
+		t.Errorf("outcome = %+v", o)
+	}
+}
+
+// testDBSimple avoids the addr helper contortion above.
+func testDBSimple(t *testing.T, numNS int) (*dnsdb.DB, dnsdb.DomainID) {
+	t.Helper()
+	db := dnsdb.New()
+	pid := db.AddProvider(dnsdb.Provider{Name: "P"})
+	var ids []dnsdb.NameserverID
+	for i := 0; i < numNS; i++ {
+		id, err := db.AddNameserver(dnsdb.Nameserver{
+			Addr: netx.Addr(0x0a000001 + i*256), Provider: pid, BaseRTT: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	did := db.AddDomain(dnsdb.Domain{Name: "x.example", NS: ids})
+	db.Freeze()
+	return db, did
+}
+
+func TestResolveRetriesOnTimeout(t *testing.T) {
+	db, did := testDBSimple(t, 3)
+	tr := &fakeTransport{outcomes: map[dnsdb.NameserverID]func() (nsset.QueryStatus, time.Duration){
+		0: fail(nsset.StatusTimeout),
+		1: fail(nsset.StatusTimeout),
+		2: ok(8 * time.Millisecond),
+	}}
+	cfg := DefaultConfig()
+	r := New(cfg, db, tr)
+	// find a seed whose shuffle visits 0,1 before 2 — try several
+	for seed := uint64(0); seed < 50; seed++ {
+		tr.calls = nil
+		o := r.Resolve(rand.New(rand.NewPCG(seed, 0)), did, time.Now())
+		if len(tr.calls) == 3 {
+			// two timeouts burned 2×PerTryTimeout before success
+			want := 2*cfg.PerTryTimeout + 8*time.Millisecond
+			if o.Status != nsset.StatusOK || o.RTT != want || o.Tries != 3 {
+				t.Errorf("outcome = %+v, want RTT %v", o, want)
+			}
+			return
+		}
+	}
+	t.Skip("no seed visited the two dead servers first")
+}
+
+func TestResolveAllTimeout(t *testing.T) {
+	db, did := testDBSimple(t, 3)
+	tr := &fakeTransport{outcomes: map[dnsdb.NameserverID]func() (nsset.QueryStatus, time.Duration){
+		0: fail(nsset.StatusTimeout), 1: fail(nsset.StatusTimeout), 2: fail(nsset.StatusTimeout),
+	}}
+	r := New(DefaultConfig(), db, tr)
+	o := r.Resolve(rand.New(rand.NewPCG(2, 2)), did, time.Now())
+	if o.Status != nsset.StatusTimeout || o.Tries != 3 || o.RTT != 0 {
+		t.Errorf("outcome = %+v", o)
+	}
+}
+
+func TestResolveServFailPrecedence(t *testing.T) {
+	db, did := testDBSimple(t, 2)
+	tr := &fakeTransport{outcomes: map[dnsdb.NameserverID]func() (nsset.QueryStatus, time.Duration){
+		0: fail(nsset.StatusServFail), 1: fail(nsset.StatusTimeout),
+	}}
+	r := New(DefaultConfig(), db, tr)
+	o := r.Resolve(rand.New(rand.NewPCG(3, 3)), did, time.Now())
+	if o.Status != nsset.StatusServFail {
+		t.Errorf("status = %v, want SERVFAIL when any server servfailed", o.Status)
+	}
+}
+
+func TestResolveMaxTriesBound(t *testing.T) {
+	db, did := testDBSimple(t, 5)
+	tr := &fakeTransport{outcomes: map[dnsdb.NameserverID]func() (nsset.QueryStatus, time.Duration){
+		0: fail(nsset.StatusTimeout), 1: fail(nsset.StatusTimeout), 2: fail(nsset.StatusTimeout),
+		3: fail(nsset.StatusTimeout), 4: fail(nsset.StatusTimeout),
+	}}
+	cfg := DefaultConfig()
+	cfg.MaxTries = 2
+	r := New(cfg, db, tr)
+	o := r.Resolve(rand.New(rand.NewPCG(4, 4)), did, time.Now())
+	if o.Tries != 2 || len(tr.calls) != 2 {
+		t.Errorf("tries = %d calls = %d, want 2", o.Tries, len(tr.calls))
+	}
+}
+
+func TestResolveSlowAnswerIsTimeout(t *testing.T) {
+	db, did := testDBSimple(t, 1)
+	cfg := DefaultConfig()
+	tr := &fakeTransport{outcomes: map[dnsdb.NameserverID]func() (nsset.QueryStatus, time.Duration){
+		0: ok(cfg.PerTryTimeout + time.Millisecond),
+	}}
+	r := New(cfg, db, tr)
+	o := r.Resolve(rand.New(rand.NewPCG(5, 5)), did, time.Now())
+	if o.Status != nsset.StatusTimeout {
+		t.Errorf("an answer slower than the try timeout should count as timeout, got %v", o.Status)
+	}
+}
+
+func TestResolveRandomizesNameserver(t *testing.T) {
+	db, did := testDBSimple(t, 3)
+	tr := &fakeTransport{outcomes: map[dnsdb.NameserverID]func() (nsset.QueryStatus, time.Duration){}}
+	r := New(DefaultConfig(), db, tr)
+	rng := rand.New(rand.NewPCG(6, 6))
+	first := map[dnsdb.NameserverID]int{}
+	for i := 0; i < 3000; i++ {
+		tr.calls = nil
+		r.Resolve(rng, did, time.Now())
+		first[tr.calls[0]]++
+	}
+	for id, n := range first {
+		if n < 800 || n > 1200 {
+			t.Errorf("NS %d chosen first %d/3000 times; agnostic selection should be uniform", id, n)
+		}
+	}
+}
+
+func TestResolveNoNameservers(t *testing.T) {
+	db := dnsdb.New()
+	did := db.AddDomain(dnsdb.Domain{Name: "orphan.example"})
+	db.Freeze()
+	r := New(DefaultConfig(), db, &fakeTransport{})
+	if o := r.Resolve(rand.New(rand.NewPCG(7, 7)), did, time.Now()); o.Status != nsset.StatusServFail {
+		t.Errorf("orphan domain = %v", o.Status)
+	}
+}
+
+func TestQueryNSExhaustive(t *testing.T) {
+	db, _ := testDBSimple(t, 2)
+	tr := &fakeTransport{outcomes: map[dnsdb.NameserverID]func() (nsset.QueryStatus, time.Duration){
+		1: fail(nsset.StatusTimeout),
+	}}
+	r := New(DefaultConfig(), db, tr)
+	rng := rand.New(rand.NewPCG(8, 8))
+	if o := r.QueryNS(rng, 0, time.Now()); o.Status != nsset.StatusOK || o.NS != 0 {
+		t.Errorf("QueryNS(0) = %+v", o)
+	}
+	if o := r.QueryNS(rng, 1, time.Now()); o.Status != nsset.StatusTimeout || o.Tries != 1 {
+		t.Errorf("QueryNS(1) = %+v", o)
+	}
+}

@@ -1,0 +1,102 @@
+package resolver
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"dnsddos/internal/dnswire"
+)
+
+// UDPClient issues real DNS queries over UDP sockets, used by the live
+// integration path (internal/authserver) and the livedns example. It
+// retries nothing by itself; callers own retry policy.
+type UDPClient struct {
+	// Timeout bounds one query round trip.
+	Timeout time.Duration
+	// EDNSPayload, when nonzero, attaches an EDNS OPT record advertising
+	// this UDP payload size (RFC 6891), letting servers skip truncation
+	// for responses up to that size.
+	EDNSPayload uint16
+}
+
+// Query sends a question to the server at addr ("host:port") and returns
+// the decoded response and the measured round-trip time.
+func (c *UDPClient) Query(ctx context.Context, addr, name string, qtype dnswire.Type) (*dnswire.Message, time.Duration, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	var d net.Dialer
+	dctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	conn, err := d.DialContext(dctx, "udp", addr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("resolver: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+
+	var idb [2]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return nil, 0, err
+	}
+	id := binary.BigEndian.Uint16(idb[:])
+	q := dnswire.NewQuery(id, name, qtype)
+	if c.EDNSPayload > 0 {
+		q.AttachEDNS(dnswire.EDNS{UDPPayload: c.EDNSPayload})
+	}
+	wire, err := dnswire.Encode(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	deadline := time.Now().Add(timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if _, err := conn.Write(wire); err != nil {
+		return nil, 0, fmt.Errorf("resolver: send: %w", err)
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("resolver: recv: %w", err)
+		}
+		rtt := time.Since(start)
+		m, err := dnswire.Decode(buf[:n])
+		if err != nil {
+			return nil, 0, err
+		}
+		if m.Header.ID != id || !m.Header.Response {
+			continue // stray datagram; keep waiting until deadline
+		}
+		return m, rtt, nil
+	}
+}
+
+// QueryWithTCPFallback queries over UDP and, when the server truncates the
+// answer (TC bit — responses past the 512-byte classic limit, §6.2),
+// retries the same question over TCP. The returned RTT covers the full
+// exchange, as a stub resolver experiences it.
+func (c *UDPClient) QueryWithTCPFallback(ctx context.Context, addr, name string, qtype dnswire.Type, tcpQuery func(context.Context, string, string, dnswire.Type) (*dnswire.Message, error)) (*dnswire.Message, time.Duration, error) {
+	m, rtt, err := c.Query(ctx, addr, name, qtype)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !m.Header.Truncated {
+		return m, rtt, nil
+	}
+	start := time.Now()
+	full, err := tcpQuery(ctx, addr, name, qtype)
+	if err != nil {
+		return nil, 0, fmt.Errorf("resolver: tcp fallback: %w", err)
+	}
+	return full, rtt + time.Since(start), nil
+}

@@ -1,0 +1,158 @@
+package rsdos
+
+import (
+	"sort"
+	"time"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/packet"
+	"dnsddos/internal/telescope"
+)
+
+// PacketAggregator builds WindowObs from individual backscatter packets
+// captured by the telescope — the packet-level front-end of the inference,
+// used for case studies and tests. The flow-level longitudinal generator
+// (internal/scenario) synthesizes WindowObs directly.
+//
+// Packet-to-attack attribution follows the backscatter method: the *source*
+// of a captured packet is the inferred victim; the backscatter type implies
+// the attacked protocol; the backscatter source port (or the quoted port in
+// an ICMP error) implies the attacked port.
+type PacketAggregator struct {
+	t   *telescope.Telescope
+	cur map[netx.Addr]*windowState
+	// curWindow is the window being accumulated; packets are expected in
+	// roughly time order and a new window flushes the previous one.
+	curWindow clock.Window
+	started   bool
+	done      []WindowObs
+}
+
+type windowState struct {
+	packets      int64
+	minuteCounts [5]int64
+	slash16      map[int]struct{}
+	dsts         map[netx.Addr]struct{}
+	protoPkts    map[packet.Protocol]int64
+	ports        map[uint16]int64
+}
+
+// NewPacketAggregator returns an aggregator for the given telescope.
+func NewPacketAggregator(t *telescope.Telescope) *PacketAggregator {
+	return &PacketAggregator{t: t, cur: make(map[netx.Addr]*windowState)}
+}
+
+// Add folds one captured packet. Packets must arrive in non-decreasing
+// window order (packet order within a window is free); the telescope replay
+// and simulators satisfy this.
+func (pa *PacketAggregator) Add(ts time.Time, p packet.Packet) {
+	w := clock.WindowOf(ts)
+	if !pa.started {
+		pa.curWindow, pa.started = w, true
+	}
+	if w != pa.curWindow {
+		pa.flush()
+		pa.curWindow = w
+	}
+	victim := p.IP.Src
+	st := pa.cur[victim]
+	if st == nil {
+		st = &windowState{
+			slash16:   make(map[int]struct{}),
+			dsts:      make(map[netx.Addr]struct{}),
+			protoPkts: make(map[packet.Protocol]int64),
+			ports:     make(map[uint16]int64),
+		}
+		pa.cur[victim] = st
+	}
+	st.packets++
+	minute := int(ts.Sub(w.Start()) / time.Minute)
+	if minute < 0 {
+		minute = 0
+	}
+	if minute > 4 {
+		minute = 4
+	}
+	st.minuteCounts[minute]++
+	if idx := pa.t.Slash16Index(p.IP.Dst); idx >= 0 {
+		st.slash16[idx] = struct{}{}
+	}
+	st.dsts[p.IP.Dst] = struct{}{}
+
+	proto, port, hasPort := classifyBackscatter(p)
+	st.protoPkts[proto]++
+	if hasPort {
+		st.ports[port]++
+	}
+}
+
+// classifyBackscatter maps a backscatter packet to the protocol and port of
+// the attack that elicited it.
+func classifyBackscatter(p packet.Packet) (packet.Protocol, uint16, bool) {
+	switch {
+	case p.TCP != nil:
+		// SYN-ACK or RST from the victim: TCP attack on the packet's
+		// source port.
+		return packet.ProtoTCP, p.TCP.SrcPort, true
+	case p.ICMP != nil:
+		switch p.ICMP.Type {
+		case packet.ICMPDestUnreachable:
+			// quoted original datagram: UDP attack
+			return packet.ProtoUDP, uint16(p.ICMP.Rest), p.ICMP.Rest != 0
+		case packet.ICMPEchoReply:
+			return packet.ProtoICMP, 0, false
+		default:
+			return packet.ProtoICMP, 0, false
+		}
+	case p.UDP != nil:
+		// service reply: UDP attack on the reply's source port
+		return packet.ProtoUDP, p.UDP.SrcPort, true
+	default:
+		return p.IP.Protocol, 0, false
+	}
+}
+
+func (pa *PacketAggregator) flush() {
+	victims := make([]netx.Addr, 0, len(pa.cur))
+	for v := range pa.cur {
+		victims = append(victims, v)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, v := range victims {
+		st := pa.cur[v]
+		obs := WindowObs{
+			Window:     pa.curWindow,
+			Victim:     v,
+			Packets:    st.packets,
+			Slash16:    len(st.slash16),
+			UniqueDsts: int64(len(st.dsts)),
+			Ports:      st.ports,
+		}
+		for _, c := range st.minuteCounts {
+			if float64(c) > obs.PeakPPM {
+				obs.PeakPPM = float64(c)
+			}
+		}
+		var bestN int64 = -1
+		for proto, n := range st.protoPkts {
+			if n > bestN || (n == bestN && proto < obs.Proto) {
+				obs.Proto, bestN = proto, n
+			}
+		}
+		pa.done = append(pa.done, obs)
+	}
+	pa.cur = make(map[netx.Addr]*windowState)
+}
+
+// Finish flushes the trailing window and returns all observations in
+// window order.
+func (pa *PacketAggregator) Finish() []WindowObs {
+	if pa.started {
+		pa.flush()
+		pa.started = false
+	}
+	out := pa.done
+	pa.done = nil
+	return out
+}

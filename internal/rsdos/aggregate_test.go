@@ -1,0 +1,151 @@
+package rsdos
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"dnsddos/internal/attacksim"
+	"dnsddos/internal/backscatter"
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/packet"
+	"dnsddos/internal/telescope"
+)
+
+func bsPacket(victim, dst string, srcPort uint16) packet.Packet {
+	return packet.Packet{
+		IP: packet.IPv4Header{Protocol: packet.ProtoTCP,
+			Src: netx.MustParseAddr(victim), Dst: netx.MustParseAddr(dst)},
+		TCP: &packet.TCPHeader{SrcPort: srcPort, DstPort: 4000, Flags: packet.FlagSYN | packet.FlagACK},
+	}
+}
+
+func TestPacketAggregatorBasics(t *testing.T) {
+	tel := telescope.NewUCSD()
+	pa := NewPacketAggregator(tel)
+	base := clock.StudyStart
+	// two victims in one window, one victim spanning two windows
+	pa.Add(base.Add(10*time.Second), bsPacket("192.0.2.1", "44.0.0.1", 53))
+	pa.Add(base.Add(20*time.Second), bsPacket("192.0.2.1", "44.1.0.1", 53))
+	pa.Add(base.Add(30*time.Second), bsPacket("198.51.100.1", "44.2.0.1", 80))
+	pa.Add(base.Add(6*time.Minute), bsPacket("192.0.2.1", "44.3.0.1", 53))
+	obs := pa.Finish()
+	if len(obs) != 3 {
+		t.Fatalf("observations = %d, want 3", len(obs))
+	}
+	// window order, victim order within window
+	if obs[0].Window != 0 || obs[1].Window != 0 || obs[2].Window != 1 {
+		t.Errorf("window order: %v %v %v", obs[0].Window, obs[1].Window, obs[2].Window)
+	}
+	first := obs[0]
+	if first.Victim != netx.MustParseAddr("192.0.2.1") || first.Packets != 2 {
+		t.Errorf("first obs = %+v", first)
+	}
+	if first.Slash16 != 2 || first.UniqueDsts != 2 {
+		t.Errorf("spread = %d, dsts = %d", first.Slash16, first.UniqueDsts)
+	}
+	if first.Proto != packet.ProtoTCP || first.Ports[53] != 2 {
+		t.Errorf("attribution = %v %v", first.Proto, first.Ports)
+	}
+}
+
+func TestPacketAggregatorPeakPPM(t *testing.T) {
+	tel := telescope.NewUCSD()
+	pa := NewPacketAggregator(tel)
+	base := clock.StudyStart
+	// 10 packets in minute 0, 30 in minute 3
+	for i := 0; i < 10; i++ {
+		pa.Add(base.Add(time.Duration(i)*time.Second), bsPacket("192.0.2.1", "44.0.0.1", 53))
+	}
+	for i := 0; i < 30; i++ {
+		pa.Add(base.Add(3*time.Minute+time.Duration(i)*time.Second), bsPacket("192.0.2.1", "44.0.0.1", 53))
+	}
+	obs := pa.Finish()
+	if len(obs) != 1 || obs[0].PeakPPM != 30 {
+		t.Errorf("peak ppm = %+v", obs)
+	}
+}
+
+func TestClassifyBackscatter(t *testing.T) {
+	cases := []struct {
+		p     packet.Packet
+		proto packet.Protocol
+		port  uint16
+		has   bool
+	}{
+		{packet.Packet{TCP: &packet.TCPHeader{SrcPort: 53}}, packet.ProtoTCP, 53, true},
+		{packet.Packet{UDP: &packet.UDPHeader{SrcPort: 123}}, packet.ProtoUDP, 123, true},
+		{packet.Packet{ICMP: &packet.ICMPHeader{Type: packet.ICMPDestUnreachable, Rest: 9999}}, packet.ProtoUDP, 9999, true},
+		{packet.Packet{ICMP: &packet.ICMPHeader{Type: packet.ICMPEchoReply}}, packet.ProtoICMP, 0, false},
+	}
+	for i, c := range cases {
+		proto, port, has := classifyBackscatter(c.p)
+		if proto != c.proto || port != c.port || has != c.has {
+			t.Errorf("case %d: got %v/%d/%v", i, proto, port, has)
+		}
+	}
+}
+
+// TestPacketPathMatchesFlowPath is the cross-validation between the two
+// fidelity levels: a packet-level replay (flood → backscatter → telescope →
+// aggregator) must produce per-window statistics consistent with the
+// analytic thinning used by the longitudinal synthesizer.
+func TestPacketPathMatchesFlowPath(t *testing.T) {
+	tel := telescope.NewUCSD()
+	rng := rand.New(rand.NewPCG(42, 42))
+	victimAddr := netx.MustParseAddr("192.0.2.53")
+	spec := attacksim.Spec{
+		Target: victimAddr,
+		Vector: attacksim.VectorRandomSpoofed,
+		Proto:  packet.ProtoTCP,
+		Ports:  []uint16{53},
+		Start:  clock.StudyStart,
+		End:    clock.StudyStart.Add(5 * time.Minute),
+		PPS:    2000,
+	}
+	victim := backscatter.DefaultNameserverVictim(false)
+	pa := NewPacketAggregator(tel)
+	spec.Flood(rng, 0, 1.0, func(ts time.Time, p packet.Packet) bool {
+		if rt, resp, ok := victim.Respond(rng, ts, p); ok {
+			if tel.Contains(resp.IP.Dst) {
+				pa.Add(rt, resp)
+			}
+		}
+		return true
+	})
+	obs := pa.Finish()
+	if len(obs) == 0 {
+		t.Fatal("no observations from packet path")
+	}
+	total := int64(0)
+	for _, o := range obs {
+		total += o.Packets
+		if o.Victim != victimAddr {
+			t.Errorf("victim attribution = %v", o.Victim)
+		}
+		if o.Proto != packet.ProtoTCP || o.Ports[53] != o.Packets {
+			t.Errorf("port attribution: %+v", o)
+		}
+	}
+	// expected telescope packets = pps × 300 s × fraction ≈ 1758
+	want := spec.PPS * 300 * tel.Fraction()
+	if math.Abs(float64(total)-want) > 6*math.Sqrt(want) {
+		t.Errorf("telescope packets = %d, want ≈%.0f", total, want)
+	}
+	// the spread should be near the coupon-collector expectation
+	spread := obs[0].Slash16
+	wantSpread := tel.ExpectedSlash16Spread(total)
+	if math.Abs(float64(spread)-float64(wantSpread)) > 8 {
+		t.Errorf("spread = %d, formula %d", spread, wantSpread)
+	}
+	// the inference should call this one attack
+	attacks := Infer(DefaultConfig(), obs)
+	if len(attacks) != 1 {
+		t.Fatalf("inferred %d attacks", len(attacks))
+	}
+	if attacks[0].Victim != victimAddr || attacks[0].FirstPort != 53 {
+		t.Errorf("attack = %+v", attacks[0])
+	}
+}

@@ -1,0 +1,123 @@
+package rsdos
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/packet"
+)
+
+// feed I/O: the attack feed serializes as CSV so the join pipeline, the
+// reactive platform, and external tooling can consume it offline, mirroring
+// how the CAIDA RSDoS feed is distributed as curated flat files.
+
+var feedHeader = []string{
+	"id", "victim", "start", "end", "proto",
+	"first_port", "unique_ports", "total_packets", "peak_ppm", "max_slash16", "unique_dsts",
+}
+
+// WriteFeed serializes attacks as CSV with a header row.
+func WriteFeed(w io.Writer, attacks []Attack) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(feedHeader); err != nil {
+		return err
+	}
+	for _, a := range attacks {
+		rec := []string{
+			strconv.Itoa(a.ID),
+			a.Victim.String(),
+			a.Start().UTC().Format("2006-01-02T15:04:05Z"),
+			a.End().UTC().Format("2006-01-02T15:04:05Z"),
+			strconv.Itoa(int(a.Proto)),
+			strconv.Itoa(int(a.FirstPort)),
+			strconv.Itoa(a.UniquePorts),
+			strconv.FormatInt(a.TotalPackets, 10),
+			strconv.FormatFloat(a.PeakPPM, 'f', -1, 64),
+			strconv.Itoa(a.MaxSlash16),
+			strconv.FormatInt(a.UniqueDsts, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFeed parses the CSV produced by WriteFeed.
+func ReadFeed(r io.Reader) ([]Attack, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(feedHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("rsdos: empty feed")
+	}
+	var attacks []Attack
+	for i, row := range rows[1:] {
+		a, err := parseFeedRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("rsdos: feed row %d: %w", i+2, err)
+		}
+		attacks = append(attacks, a)
+	}
+	return attacks, nil
+}
+
+func parseFeedRow(row []string) (Attack, error) {
+	var a Attack
+	var err error
+	if a.ID, err = strconv.Atoi(row[0]); err != nil {
+		return a, err
+	}
+	if a.Victim, err = netx.ParseAddr(row[1]); err != nil {
+		return a, err
+	}
+	start, err := parseUTC(row[2])
+	if err != nil {
+		return a, err
+	}
+	end, err := parseUTC(row[3])
+	if err != nil {
+		return a, err
+	}
+	a.StartWindow = clock.WindowOf(start)
+	a.EndWindow = clock.WindowOf(end) - 1 // End() is exclusive
+	proto, err := strconv.Atoi(row[4])
+	if err != nil {
+		return a, err
+	}
+	a.Proto = packet.Protocol(proto)
+	fp, err := strconv.Atoi(row[5])
+	if err != nil {
+		return a, err
+	}
+	a.FirstPort = uint16(fp)
+	if a.UniquePorts, err = strconv.Atoi(row[6]); err != nil {
+		return a, err
+	}
+	if a.TotalPackets, err = strconv.ParseInt(row[7], 10, 64); err != nil {
+		return a, err
+	}
+	if a.PeakPPM, err = strconv.ParseFloat(row[8], 64); err != nil {
+		return a, err
+	}
+	if a.MaxSlash16, err = strconv.Atoi(row[9]); err != nil {
+		return a, err
+	}
+	if a.UniqueDsts, err = strconv.ParseInt(row[10], 10, 64); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+func parseUTC(s string) (time.Time, error) {
+	return time.Parse("2006-01-02T15:04:05Z", s)
+}

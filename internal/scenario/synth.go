@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"dnsddos/internal/attacksim"
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/rsdos"
+	"dnsddos/internal/stats"
+	"dnsddos/internal/telescope"
+)
+
+// synth.go converts an attack schedule into the telescope's window
+// observations at flow level: the exact thinning of the backscatter process
+// (Binomial/Poisson sampling of victim responses into the darknet),
+// without materializing individual packets. Packet-level fidelity for the
+// same process lives in attacksim.Flood + backscatter + telescope.Capture
+// and is cross-validated against this path by tests.
+
+// SynthConfig tunes the synthesizer.
+type SynthConfig struct {
+	Seed uint64
+	// DefaultVictimCapacity is the response capacity assumed for
+	// non-nameserver victims (nameservers use their dnsdb capacity).
+	// Saturated victims answer only capacity/load of attack packets —
+	// the §6.5 self-suppression of strong attacks' backscatter.
+	DefaultVictimCapacity float64
+	// NSRespCapacityFactor scales a nameserver's serving capacity into
+	// its raw response capacity: emitting a SYN-ACK or RST is much
+	// cheaper than resolving a query, so backscatter keeps flowing well
+	// past the point where resolution quality degrades.
+	NSRespCapacityFactor float64
+}
+
+// DefaultSynthConfig returns standard settings.
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{Seed: 99, DefaultVictimCapacity: 2e5, NSRespCapacityFactor: 20}
+}
+
+// SynthesizeObs generates the telescope's per-(victim, window) backscatter
+// observations for every randomly spoofed attack in the schedule.
+func SynthesizeObs(cfg SynthConfig, w *World, sched *attacksim.Schedule, tel *telescope.Telescope) []rsdos.WindowObs {
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x0b5))
+	var out []rsdos.WindowObs
+	// index components by victim so per-window total load is O(components
+	// on that victim), not O(schedule)
+	byTarget := make(map[netx.Addr][]attacksim.Spec)
+	for _, s := range sched.Specs() {
+		byTarget[s.Target] = append(byTarget[s.Target], s)
+	}
+	victimLoad := func(target netx.Addr, w clock.Window) float64 {
+		var sum float64
+		for _, s := range byTarget[target] {
+			sum += s.WindowLoad(w)
+		}
+		return sum
+	}
+	for _, s := range sched.Specs() {
+		if s.Vector != attacksim.VectorRandomSpoofed {
+			continue
+		}
+		cap := cfg.DefaultVictimCapacity
+		if ns, ok := w.DB.NameserverByAddr(s.Target); ok {
+			cap = ns.CapacityPPS * float64(ns.Sites) * cfg.NSRespCapacityFactor
+		} else {
+			// non-NS victims get a deterministic per-host capacity
+			cap = victimCapacity(s.Target, cfg.DefaultVictimCapacity)
+		}
+		startW := clock.WindowOf(s.Start)
+		endW := clock.WindowOf(s.End.Add(-1))
+		for wdw := startW; wdw <= endW; wdw++ {
+			load := s.WindowLoad(wdw)
+			if load <= 0 {
+				continue
+			}
+			total := victimLoad(s.Target, wdw)
+			respRate := 1.0
+			if total > cap {
+				respRate = cap / total
+			}
+			responses := load * respRate * clock.WindowDur.Seconds()
+			lambda := responses * tel.Fraction()
+			o := synthesizeWindow(rng, tel, s, wdw, lambda)
+			if o.Packets > 0 {
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+// synthesizeWindow draws one observation from the thinned backscatter
+// process with expected telescope packet count lambda.
+func synthesizeWindow(rng *rand.Rand, tel *telescope.Telescope, s attacksim.Spec, w clock.Window, lambda float64) rsdos.WindowObs {
+	pk := stats.Poisson(rng, lambda)
+	o := rsdos.WindowObs{
+		Window:  w,
+		Victim:  s.Target,
+		Packets: pk,
+		Proto:   s.Proto,
+	}
+	if pk == 0 {
+		return o
+	}
+	// split the window's packets over its five minutes (multinomial via
+	// sequential binomial splits) and take the peak
+	remaining := pk
+	var peak int64
+	for i := 0; i < 5; i++ {
+		share := 1.0 / float64(5-i)
+		var c int64
+		if i == 4 {
+			c = remaining
+		} else {
+			c = stats.Binomial(rng, remaining, share)
+		}
+		remaining -= c
+		if c > peak {
+			peak = c
+		}
+	}
+	o.PeakPPM = float64(peak)
+	// /16 spread: expected coupon-collector coverage with ±1 noise
+	spread := tel.ExpectedSlash16Spread(pk)
+	if spread > 1 && rng.Float64() < 0.5 {
+		spread += rng.IntN(3) - 1
+	}
+	if spread < 1 {
+		spread = 1
+	}
+	if spread > tel.NumSlash16() {
+		spread = tel.NumSlash16()
+	}
+	o.Slash16 = spread
+	// distinct darknet destinations (birthday-corrected). An attacker
+	// cycling a bounded spoofed-source pool saturates at the pool's
+	// darknet share — the Table 2 "attacker IP count" signal.
+	pool := float64(uint64(1) << 32)
+	if s.SpoofedSources > 0 {
+		pool = float64(s.SpoofedSources)
+	}
+	darknet := pool * tel.Fraction()
+	o.UniqueDsts = int64(darknet * (1 - math.Exp(float64(pk)*math.Log1p(-1/darknet))))
+	if o.UniqueDsts > pk {
+		o.UniqueDsts = pk
+	}
+	if o.UniqueDsts == 0 {
+		o.UniqueDsts = 1
+	}
+	// attacked-port attribution
+	if len(s.Ports) > 0 {
+		o.Ports = make(map[uint16]int64, len(s.Ports))
+		rem := pk
+		for i, p := range s.Ports {
+			var c int64
+			if i == len(s.Ports)-1 {
+				c = rem
+			} else {
+				c = stats.Binomial(rng, rem, 1.0/float64(len(s.Ports)-i))
+			}
+			rem -= c
+			if c > 0 {
+				o.Ports[p] += c
+			}
+		}
+	}
+	return o
+}
+
+// victimCapacity derives a deterministic pseudo-random capacity for a
+// non-nameserver victim from its address.
+func victimCapacity(a netx.Addr, base float64) float64 {
+	h := uint32(a) * 2654435761
+	// spread capacities over roughly one order of magnitude around base
+	f := 0.3 + float64(h%1000)/1000*3.0
+	return base * f
+}

@@ -1,0 +1,93 @@
+package simnet
+
+import (
+	"time"
+
+	"dnsddos/internal/dnsdb"
+)
+
+// Vantage describes a measurement location. The paper's platforms measure
+// from a single vantage point in the Netherlands, which it lists as a
+// limitation (§4.3): with anycast, each vantage reaches exactly one site,
+// and an attack concentrated on other sites is invisible from it
+// ("catchment can mask ongoing attacks in specific geographic regions").
+// §9 proposes multi-vantage measurement as future work; this type
+// implements it.
+type Vantage struct {
+	// Name labels the vantage in reports.
+	Name string
+	// RTTScale multiplies nameserver base RTTs (the world generator
+	// calibrates base RTTs for the Netherlands vantage; a US vantage
+	// sees different distances).
+	RTTScale float64
+	// CatchmentSeed selects which anycast site each nameserver's
+	// queries from this vantage land on.
+	CatchmentSeed uint64
+}
+
+// DefaultVantage is the Netherlands vantage the paper's platforms use.
+func DefaultVantage() Vantage {
+	return Vantage{Name: "nl-ams", RTTScale: 1, CatchmentSeed: 0}
+}
+
+// WithVantage returns a view of the data plane as seen from v. The
+// returned Net shares all immutable state with the original.
+func (n *Net) WithVantage(v Vantage) *Net {
+	cp := *n
+	if v.RTTScale <= 0 {
+		v.RTTScale = 1
+	}
+	cp.vantage = v
+	return &cp
+}
+
+// Vantage returns the active vantage.
+func (n *Net) Vantage() Vantage { return n.vantage }
+
+// siteOf returns the anycast site index this vantage's catchment maps to
+// for nameserver ns.
+func (n *Net) siteOf(ns *dnsdb.Nameserver) int {
+	if ns.Sites <= 1 {
+		return 0
+	}
+	h := mix64(uint64(ns.Addr)*0x9e3779b97f4a7c15 ^ n.vantage.CatchmentSeed*0xbf58476d1ce4e5b9)
+	return int(h % uint64(ns.Sites))
+}
+
+// siteLoadFactor returns the relative attack-load multiplier of one site of
+// an anycast deployment. Attack sources have their own catchment, so load
+// is uneven across sites: some absorb several times their even share,
+// others almost none. The factor is deterministic per (nameserver, site)
+// with mean ≈1 across sites.
+func siteLoadFactor(ns *dnsdb.Nameserver, site int) float64 {
+	if ns.Sites <= 1 {
+		return 1
+	}
+	u := float64(mix64(uint64(ns.Addr)<<20^uint64(site)*0x2545f4914f6cdd1d)%1000) / 1000
+	// triangular-ish spread in [0.1, 1.9]
+	return 0.1 + 1.8*u
+}
+
+// mix64 is SplitMix64's finalizer: a cheap, well-distributed hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// baseRTTFrom returns the unloaded RTT from the active vantage to ns.
+func (n *Net) baseRTTFrom(ns *dnsdb.Nameserver) time.Duration {
+	scale := n.vantage.RTTScale
+	if scale <= 0 {
+		scale = 1
+	}
+	if ns.Sites > 1 {
+		// anycast reaches a nearby site from anywhere: distance is a
+		// property of the deployment, not the vantage geography
+		scale = 1
+	}
+	return time.Duration(float64(ns.BaseRTT) * scale)
+}

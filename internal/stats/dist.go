@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Poisson draws a Poisson(lambda) sample. For small lambda it uses Knuth's
+// multiplication method; for large lambda a normal approximation, which is
+// accurate to well under a percent for the packet-count magnitudes the
+// telescope thinning uses.
+func Poisson(rng *rand.Rand, lambda float64) int64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		var k int64
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+	if n < 0 {
+		return 0
+	}
+	return int64(math.Round(n))
+}
+
+// Binomial draws a Binomial(n, p) sample. Small n uses exact Bernoulli
+// trials; large n uses the Poisson or normal approximation depending on
+// mean.
+func Binomial(rng *rand.Rand, n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		var k int64
+		for i := int64(0); i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	if mean < 30 {
+		k := Poisson(rng, mean)
+		if k > n {
+			return n
+		}
+		return k
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	k := int64(math.Round(mean + sd*rng.NormFloat64()))
+	if k < 0 {
+		return 0
+	}
+	if k > n {
+		return n
+	}
+	return k
+}
+
+// Zipf draws ranks 1..n with probability proportional to rank^-s. The
+// provider-size distribution of the synthetic DNS world uses it: a few
+// providers host millions of domains, a long tail hosts a handful —
+// matching the paper's spread from 10M-domain deployments (Fig. 5) down to
+// 100-domain NSSets (Fig. 7).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf precomputes the CDF for n ranks with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Draw samples a rank in [0, n).
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weight returns the probability mass of rank i.
+func (z *Zipf) Weight(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// LogNormal draws exp(mu + sigma*N(0,1)); base RTT jitter uses it.
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, lambda := range []float64{0.5, 5, 40, 1000} {
+		const n = 20000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			k := float64(Poisson(rng, lambda))
+			sum += k
+			sumsq += k * k
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		if math.Abs(mean-lambda) > 5*math.Sqrt(lambda/n)+0.5 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.15*lambda+1 {
+			t.Errorf("Poisson(%v) variance = %v", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonEdge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	if Poisson(rng, 0) != 0 || Poisson(rng, -3) != 0 {
+		t.Error("non-positive lambda should give 0")
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	cases := []struct {
+		n int64
+		p float64
+	}{{10, 0.5}, {100, 0.1}, {100000, 0.003}, {1000000, 0.5}}
+	for _, c := range cases {
+		const trials = 5000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			k := Binomial(rng, c.n, c.p)
+			if k < 0 || k > c.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", c.n, c.p, k)
+			}
+			sum += float64(k)
+		}
+		mean := sum / trials
+		want := float64(c.n) * c.p
+		sd := math.Sqrt(want * (1 - c.p))
+		if math.Abs(mean-want) > 6*sd/math.Sqrt(trials)+0.5 {
+			t.Errorf("Binomial(%d,%v) mean = %v, want %v", c.n, c.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	if Binomial(rng, 0, 0.5) != 0 {
+		t.Error("n=0")
+	}
+	if Binomial(rng, 10, 0) != 0 {
+		t.Error("p=0")
+	}
+	if Binomial(rng, 10, 1) != 10 {
+		t.Error("p=1")
+	}
+	if Binomial(rng, 10, 1.5) != 10 {
+		t.Error("p>1 clamps to n")
+	}
+}
+
+func TestZipfWeightsSumToOne(t *testing.T) {
+	z := NewZipf(50, 0.9)
+	var sum float64
+	for i := 0; i < 50; i++ {
+		sum += z.Weight(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum = %v", sum)
+	}
+	// weights decrease with rank
+	for i := 1; i < 50; i++ {
+		if z.Weight(i) > z.Weight(i-1)+1e-12 {
+			t.Errorf("weight increased at rank %d", i)
+		}
+	}
+}
+
+func TestZipfDrawDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	z := NewZipf(10, 1.0)
+	counts := make([]int, 10)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.Draw(rng)]++
+	}
+	for i := 0; i < 10; i++ {
+		want := z.Weight(i) * n
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want)+5 {
+			t.Errorf("rank %d drawn %d times, want ≈%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	for i := 0; i < 1000; i++ {
+		if LogNormal(rng, 0, 0.5) <= 0 {
+			t.Fatal("LogNormal must be positive")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("F(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+	if NewECDF(nil).At(5) != 0 {
+		t.Error("empty ECDF should be 0")
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	const n = 3000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	d := KolmogorovSmirnov(a, b)
+	if crit := KSCritical(0.01, n, n); d > crit {
+		t.Errorf("same-distribution KS = %v exceeds critical %v", d, crit)
+	}
+}
+
+func TestKSDifferentDistributions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	const n = 2000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1 // shifted
+	}
+	d := KolmogorovSmirnov(a, b)
+	if crit := KSCritical(0.05, n, n); d <= crit {
+		t.Errorf("shifted distributions KS = %v below critical %v", d, crit)
+	}
+}
+
+func TestKSEdgeCases(t *testing.T) {
+	if KolmogorovSmirnov(nil, []float64{1}) != 1 {
+		t.Error("empty sample should give maximal distance")
+	}
+	if d := KolmogorovSmirnov([]float64{1, 2, 3}, []float64{1, 2, 3}); d != 0 {
+		t.Errorf("identical samples KS = %v", d)
+	}
+}
+
+// TestPoissonMatchesBinomialThinning cross-validates the two samplers the
+// telescope thinning relies on: Binomial(n, p) with tiny p must be
+// KS-indistinguishable from Poisson(np).
+func TestPoissonMatchesBinomialThinning(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	const trials = 4000
+	const n, p = 1_000_000, 1.0 / 341.0 / 100 // small λ ≈ 29.3
+	lambda := float64(n) * p
+	a := make([]float64, trials)
+	b := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		a[i] = float64(Binomial(rng, n, p))
+		b[i] = float64(Poisson(rng, lambda))
+	}
+	d := KolmogorovSmirnov(a, b)
+	// discrete distributions inflate KS slightly; allow 2× the critical
+	if crit := KSCritical(0.01, trials, trials); d > 2*crit {
+		t.Errorf("thinning samplers diverge: KS = %v, critical %v", d, crit)
+	}
+}

@@ -1,0 +1,70 @@
+package study
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dnsddos/internal/clock"
+)
+
+// config.go provides JSON (de)serialization and validation for Config so
+// the command-line tools can run studies from declarative files and whole
+// experiment setups can be archived alongside their outputs.
+
+// WriteConfig serializes a configuration as indented JSON.
+func WriteConfig(w io.Writer, cfg Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+// ReadConfig parses a JSON configuration. Missing fields keep the values of
+// base (pass DefaultConfig() for the paper's settings), so a config file
+// needs to spell out only what it overrides.
+func ReadConfig(r io.Reader, base Config) (Config, error) {
+	cfg := base
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("study: parsing config: %w", err)
+	}
+	if err := Validate(cfg); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate rejects configurations that would run but produce meaningless
+// studies (empty worlds, inverted day ranges, broken probabilities).
+func Validate(cfg Config) error {
+	switch {
+	case cfg.World.Domains <= 0:
+		return fmt.Errorf("study: World.Domains = %d, must be positive", cfg.World.Domains)
+	case cfg.World.GenericProviders < 0:
+		return fmt.Errorf("study: World.GenericProviders = %d, must be non-negative", cfg.World.GenericProviders)
+	case cfg.World.MisconfiguredShare < 0 || cfg.World.MisconfiguredShare > 0.5:
+		return fmt.Errorf("study: World.MisconfiguredShare = %v out of [0, 0.5]", cfg.World.MisconfiguredShare)
+	case cfg.World.AnycastRecall < 0 || cfg.World.AnycastRecall > 1:
+		return fmt.Errorf("study: World.AnycastRecall = %v out of [0, 1]", cfg.World.AnycastRecall)
+	case cfg.World.InconsistentShare < 0 || cfg.World.InconsistentShare > 1:
+		return fmt.Errorf("study: World.InconsistentShare = %v out of [0, 1]", cfg.World.InconsistentShare)
+	case cfg.Attacks.TotalAttacks <= 0:
+		return fmt.Errorf("study: Attacks.TotalAttacks = %d, must be positive", cfg.Attacks.TotalAttacks)
+	case cfg.Attacks.DNSShare < 0 || cfg.Attacks.DNSShare > 1:
+		return fmt.Errorf("study: Attacks.DNSShare = %v out of [0, 1]", cfg.Attacks.DNSShare)
+	case cfg.Attacks.MultiVectorShare < 0 || cfg.Attacks.MultiVectorShare > 1:
+		return fmt.Errorf("study: Attacks.MultiVectorShare = %v out of [0, 1]", cfg.Attacks.MultiVectorShare)
+	case cfg.FromDay < 0 || cfg.ToDay >= clock.Day(clock.StudyDays()):
+		return fmt.Errorf("study: day range [%d, %d] outside the %d-day study window", cfg.FromDay, cfg.ToDay, clock.StudyDays())
+	case cfg.ToDay < cfg.FromDay:
+		return fmt.Errorf("study: ToDay %d before FromDay %d", cfg.ToDay, cfg.FromDay)
+	case cfg.Pipeline.MinMeasuredDomains < 0:
+		return fmt.Errorf("study: Pipeline.MinMeasuredDomains = %d, must be non-negative", cfg.Pipeline.MinMeasuredDomains)
+	case cfg.Resolver.MaxTries < 1:
+		return fmt.Errorf("study: Resolver.MaxTries = %d, must be at least 1", cfg.Resolver.MaxTries)
+	case cfg.Net.ScrubEfficiency < 0 || cfg.Net.ScrubEfficiency > 1:
+		return fmt.Errorf("study: Net.ScrubEfficiency = %v out of [0, 1]", cfg.Net.ScrubEfficiency)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package study orchestrates a full end-to-end run of the reproduction:
+// generate the world and the 17-month attack schedule, run the telescope
+// and RSDoS inference, run the OpenINTEL daily sweeps over the simulated
+// data plane, and execute the core join pipeline. The cmd tools, examples
+// and benchmarks all build on it.
+package study
+
+import (
+	"runtime"
+	"sync"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/core"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/openintel"
+	"dnsddos/internal/resolver"
+	"dnsddos/internal/rsdos"
+	"dnsddos/internal/scenario"
+	"dnsddos/internal/simnet"
+	"dnsddos/internal/telescope"
+	"time"
+)
+
+// Config collects every knob of a full study run.
+type Config struct {
+	World    scenario.WorldConfig
+	Attacks  scenario.AttackConfig
+	Synth    scenario.SynthConfig
+	RSDoS    rsdos.Config
+	Net      simnet.Params
+	Resolver resolver.Config
+	Pipeline core.Config
+	// MeasureSeed drives the OpenINTEL engine.
+	MeasureSeed uint64
+	// FromDay/ToDay bound the measured interval (inclusive); zero values
+	// mean the full study window.
+	FromDay, ToDay clock.Day
+	// WindowMarginBefore/After extend the retained-metrics window around
+	// each DNS attack so time-series figures have context.
+	WindowMarginBefore time.Duration
+	WindowMarginAfter  time.Duration
+	// Parallelism shards the daily sweeps across goroutines (0 = all
+	// cores).
+	Parallelism int
+	// Noise, when enabled, mixes scanner/misconfiguration IBR into the
+	// telescope observations before inference; the Moore-style
+	// thresholds are expected to reject it (DESIGN §2).
+	Noise        scenario.NoiseConfig
+	IncludeNoise bool
+}
+
+// DefaultConfig returns the standard longitudinal configuration.
+func DefaultConfig() Config {
+	// The measurement platform issues explicit NS queries against the
+	// zone's own (child) nameservers and prefers the authoritative
+	// answer (§3.2), so its resolver does not chase stale parent
+	// delegations; FollowDelegation stays available for the end-user
+	// and ablation paths.
+	resCfg := resolver.DefaultConfig()
+	resCfg.FollowDelegation = false
+	return Config{
+		World:              scenario.DefaultWorldConfig(),
+		Attacks:            scenario.DefaultAttackConfig(),
+		Synth:              scenario.DefaultSynthConfig(),
+		RSDoS:              rsdos.DefaultConfig(),
+		Net:                simnet.DefaultParams(),
+		Resolver:           resCfg,
+		Pipeline:           core.DefaultConfig(),
+		MeasureSeed:        42,
+		Noise:              scenario.DefaultNoiseConfig(),
+		FromDay:            0,
+		ToDay:              clock.Day(clock.StudyDays() - 1),
+		WindowMarginBefore: 6 * time.Hour,
+		WindowMarginAfter:  24 * time.Hour,
+	}
+}
+
+// QuickConfig returns a scaled-down configuration for tests and fast
+// benches: a smaller world and schedule, same 17-month span.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.World.Domains = 6000
+	c.World.GenericProviders = 60
+	c.Attacks.TotalAttacks = 8000
+	return c
+}
+
+// Study is the materialized run.
+type Study struct {
+	Config     Config
+	World      *scenario.World
+	Schedule   *scenario.Schedule
+	Telescope  *telescope.Telescope
+	Obs        []rsdos.WindowObs
+	Attacks    []rsdos.Attack
+	Net        *simnet.Net
+	Resolver   *resolver.Resolver
+	Engine     *openintel.Engine
+	Agg        *nsset.Aggregator
+	Pipeline   *core.Pipeline
+	Classified []core.ClassifiedAttack
+	Events     []core.Event
+}
+
+// Run executes the full study.
+func Run(cfg Config) *Study {
+	s := &Study{Config: cfg}
+	s.World = scenario.GenerateWorld(cfg.World)
+	s.Schedule = scenario.GenerateSchedule(cfg.Attacks, s.World)
+	s.Telescope = telescope.NewUCSD()
+	s.Obs = scenario.SynthesizeObs(cfg.Synth, s.World, s.Schedule.Sched, s.Telescope)
+	if cfg.IncludeNoise {
+		s.Obs = append(s.Obs, scenario.SynthesizeNoise(cfg.Noise, s.Telescope)...)
+	}
+	s.Attacks = rsdos.Infer(cfg.RSDoS, s.Obs)
+
+	s.Net = simnet.New(cfg.Net, s.World.DB, s.Schedule.Sched, s.Schedule.Blackouts...)
+	s.Resolver = resolver.New(cfg.Resolver, s.World.DB, s.Net)
+	s.Engine = openintel.NewEngine(s.World.DB, s.Resolver, cfg.MeasureSeed)
+
+	s.Agg = nsset.NewAggregator()
+	filter := s.windowFilter()
+	s.Agg.SetWindowFilter(filter)
+	s.runSweeps(filter)
+
+	s.Pipeline = core.NewPipeline(cfg.Pipeline, s.World.DB, s.Agg, s.World.Census, s.World.Topo, s.World.OpenRes)
+	s.Classified = s.Pipeline.Classify(s.Attacks)
+	s.Events = s.Pipeline.Events(s.Attacks)
+	return s
+}
+
+// windowFilter keeps per-window metrics only around attacks on NS-recorded
+// IPs (plus margins), bounding aggregator memory over the 17-month run.
+func (s *Study) windowFilter() func(clock.Window) bool {
+	keep := make(map[clock.Window]struct{})
+	nsAddrs := s.World.DB.AllNSAddrs()
+	before := int64(s.Config.WindowMarginBefore / clock.WindowDur)
+	after := int64(s.Config.WindowMarginAfter / clock.WindowDur)
+	for _, a := range s.Attacks {
+		if _, ok := nsAddrs[a.Victim]; !ok {
+			continue
+		}
+		for w := a.StartWindow - clock.Window(before); w <= a.EndWindow+clock.Window(after); w++ {
+			keep[w] = struct{}{}
+		}
+	}
+	return func(w clock.Window) bool {
+		_, ok := keep[w]
+		return ok
+	}
+}
+
+// runSweeps runs the daily measurement sweeps, sharded across goroutines
+// by day (days are independent: the engine derives a fresh deterministic
+// rng per day, and window/day aggregates merge commutatively).
+func (s *Study) runSweeps(filter func(clock.Window) bool) {
+	from, to := s.Config.FromDay, s.Config.ToDay
+	if to < from {
+		return
+	}
+	par := s.Config.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	nDays := int(to-from) + 1
+	if par > nDays {
+		par = nDays
+	}
+	if par <= 1 {
+		s.Engine.RunRange(from, to, s.Agg, nil)
+		return
+	}
+	type shard struct {
+		from, to clock.Day
+	}
+	shards := make([]shard, 0, par)
+	per := nDays / par
+	extra := nDays % par
+	cur := from
+	for i := 0; i < par; i++ {
+		n := per
+		if i < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		shards = append(shards, shard{from: cur, to: cur + clock.Day(n) - 1})
+		cur += clock.Day(n)
+	}
+	aggs := make([]*nsset.Aggregator, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh shard) {
+			defer wg.Done()
+			a := nsset.NewAggregator()
+			a.SetWindowFilter(filter)
+			s.Engine.RunRange(sh.from, sh.to, a, nil)
+			aggs[i] = a
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, a := range aggs {
+		s.Agg.Merge(a)
+	}
+}

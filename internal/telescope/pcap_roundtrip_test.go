@@ -1,0 +1,103 @@
+package telescope
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"dnsddos/internal/attacksim"
+	"dnsddos/internal/backscatter"
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/packet"
+	"dnsddos/internal/pcap"
+)
+
+// TestCapturePcapRoundTrip drives the full packet path — spoofed flood →
+// victim backscatter → telescope capture → pcap file — then reads the file
+// back and checks the records decode to the same packets.
+func TestCapturePcapRoundTrip(t *testing.T) {
+	tel := NewUCSD()
+	var buf bytes.Buffer
+	pw, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var captured []packet.Packet
+	var times []time.Time
+	cap := NewCapture(tel, pw, func(ts time.Time, p packet.Packet) {
+		captured = append(captured, p)
+		times = append(times, ts)
+	})
+
+	spec := attacksim.Spec{
+		Target: netx.MustParseAddr("192.0.2.53"),
+		Vector: attacksim.VectorRandomSpoofed,
+		Proto:  packet.ProtoTCP,
+		Ports:  []uint16{53},
+		Start:  clock.StudyStart,
+		End:    clock.StudyStart.Add(5 * time.Minute),
+		PPS:    300,
+	}
+	victim := backscatter.DefaultNameserverVictim(false)
+	rng := rand.New(rand.NewPCG(4, 4))
+	spec.Flood(rng, 0, 1.0, func(ts time.Time, p packet.Packet) bool {
+		if rt, resp, ok := victim.Respond(rng, ts, p); ok {
+			if _, err := cap.Offer(rt, resp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return true
+	})
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cap.Captured() == 0 {
+		t.Fatal("nothing captured — expected ≈ pps×300×(1/341) ≈ 260 packets")
+	}
+	if int64(len(captured)) != cap.Captured() {
+		t.Fatalf("observer saw %d, counter says %d", len(captured), cap.Captured())
+	}
+
+	r, err := pcap.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for {
+		rec, err := r.ReadRecord()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := packet.Decode(rec.Data)
+		if err != nil {
+			t.Fatalf("record %d undecodable: %v", i, err)
+		}
+		want := captured[i]
+		if got.IP.Src != want.IP.Src || got.IP.Dst != want.IP.Dst {
+			t.Fatalf("record %d addressing mismatch", i)
+		}
+		if got.TCP == nil || !got.TCP.Flags.Has(packet.FlagSYN|packet.FlagACK) {
+			t.Fatalf("record %d not a SYN-ACK: %+v", i, got.TCP)
+		}
+		if got.TCP.SrcPort != 53 {
+			t.Fatalf("record %d backscatter source port = %d", i, got.TCP.SrcPort)
+		}
+		if !tel.Contains(got.IP.Dst) {
+			t.Fatalf("record %d destination outside the darknet", i)
+		}
+		// microsecond pcap resolution
+		if d := rec.Time.Sub(times[i].Truncate(time.Microsecond)); d < 0 || d > time.Microsecond {
+			t.Fatalf("record %d timestamp drift %v", i, d)
+		}
+		i++
+	}
+	if int64(i) != cap.Captured() {
+		t.Fatalf("pcap holds %d records, captured %d", i, cap.Captured())
+	}
+}

@@ -1,0 +1,178 @@
+// Package telescope implements the network-telescope (darknet) substrate:
+// an unused, globally announced address block that passively captures
+// Internet Background Radiation, including the backscatter of randomly
+// spoofed DoS attacks (§3.1).
+//
+// The default instance mirrors the UCSD-NT footprint — a /9 plus a /10,
+// together ≈1/341 of the IPv4 space, the interpolation constant the paper
+// uses to extrapolate telescope packet rates to victim-side rates
+// (Table 2 footnote: 21.8 kppm × 341 / 60 s ≈ 124 kpps).
+package telescope
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"dnsddos/internal/netx"
+	"dnsddos/internal/packet"
+	"dnsddos/internal/pcap"
+	"dnsddos/internal/stats"
+)
+
+// Telescope is a darknet address space.
+type Telescope struct {
+	space *netx.PrefixSet
+	// slash16s caches the /16 blocks covered by the space, for the
+	// /16-spread attack signal.
+	slash16s []netx.Prefix
+}
+
+// New builds a telescope over the given disjoint prefixes.
+func New(space *netx.PrefixSet) *Telescope {
+	t := &Telescope{space: space}
+	seen := make(map[netx.Prefix]struct{})
+	for _, p := range space.Prefixes() {
+		if p.Bits >= 16 {
+			k := p.Addr.Slash16()
+			if _, ok := seen[k]; !ok {
+				seen[k] = struct{}{}
+				t.slash16s = append(t.slash16s, k)
+			}
+			continue
+		}
+		for a := p.First(); ; a += 1 << 16 {
+			t.slash16s = append(t.slash16s, a.Slash16())
+			if a.Slash16().Last() >= p.Last() {
+				break
+			}
+		}
+	}
+	return t
+}
+
+// NewUCSD returns a telescope with the UCSD-NT-shaped footprint: a /9 and
+// a /10 (we place them in 44.0.0.0/9 and 44.128.0.0/10).
+func NewUCSD() *Telescope {
+	return New(netx.MustNewPrefixSet(
+		netx.MustParsePrefix("44.0.0.0/9"),
+		netx.MustParsePrefix("44.128.0.0/10"),
+	))
+}
+
+// Contains reports whether dst falls inside the darknet.
+func (t *Telescope) Contains(dst netx.Addr) bool { return t.space.Contains(dst) }
+
+// Fraction returns the share of IPv4 the telescope covers (≈1/341 for the
+// UCSD footprint).
+func (t *Telescope) Fraction() float64 { return t.space.Fraction() }
+
+// ScaleFactor returns 1/Fraction(), the multiplier used to extrapolate
+// telescope-observed counts to the full IPv4 space (≈341).
+func (t *Telescope) ScaleFactor() float64 { return 1 / t.space.Fraction() }
+
+// NumSlash16 returns the number of /16 blocks the telescope covers (192 for
+// the UCSD footprint). The RSDoS inference uses the number of distinct /16s
+// receiving backscatter as its noise filter.
+func (t *Telescope) NumSlash16() int { return len(t.slash16s) }
+
+// RandomAddr returns a uniformly random darknet address: the conditional
+// distribution of a uniformly spoofed source given that it lands in the
+// telescope. The thinned backscatter sampler uses it.
+func (t *Telescope) RandomAddr(rng *rand.Rand) netx.Addr {
+	n := rng.Uint64N(t.space.Size())
+	for _, p := range t.space.Prefixes() {
+		if n < p.Size() {
+			return p.Nth(n)
+		}
+		n -= p.Size()
+	}
+	panic("telescope: unreachable")
+}
+
+// Slash16Index returns the index of the telescope /16 containing dst, or
+// -1 when dst is outside the darknet. The observation builder uses it to
+// count the /16 spread cheaply.
+func (t *Telescope) Slash16Index(dst netx.Addr) int {
+	if !t.space.Contains(dst) {
+		return -1
+	}
+	k := dst.Slash16()
+	for i, p := range t.slash16s {
+		if p == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// Capture is a telescope packet sink: packets destined inside the darknet
+// are recorded (optionally to a pcap writer) and handed to the observer.
+type Capture struct {
+	t        *Telescope
+	pcap     *pcap.Writer
+	observer func(ts time.Time, p packet.Packet)
+	captured int64
+	dropped  int64
+}
+
+// NewCapture builds a capture. pcapW and observer may each be nil.
+func NewCapture(t *Telescope, pcapW *pcap.Writer, observer func(ts time.Time, p packet.Packet)) *Capture {
+	return &Capture{t: t, pcap: pcapW, observer: observer}
+}
+
+// Offer presents a packet to the telescope; packets outside the darknet are
+// ignored (they would have been routed elsewhere). It returns whether the
+// packet was captured.
+func (c *Capture) Offer(ts time.Time, p packet.Packet) (bool, error) {
+	if !c.t.Contains(p.IP.Dst) {
+		c.dropped++
+		return false, nil
+	}
+	c.captured++
+	if c.pcap != nil {
+		if err := c.pcap.WriteRecord(pcap.Record{Time: ts, Data: p.Build()}); err != nil {
+			return true, err
+		}
+	}
+	if c.observer != nil {
+		c.observer(ts, p)
+	}
+	return true, nil
+}
+
+// Captured returns the number of captured packets.
+func (c *Capture) Captured() int64 { return c.captured }
+
+// ThinSample draws how many of n victim responses land in the telescope
+// (Binomial(n, fraction)) — the exact thinning of a uniformly spoofed
+// process, used by the flow-level longitudinal generator instead of
+// materializing every packet.
+func (t *Telescope) ThinSample(rng *rand.Rand, n int64) int64 {
+	return stats.Binomial(rng, n, t.Fraction())
+}
+
+// ExpectedSlash16Spread returns the expected number of distinct telescope
+// /16s hit by k uniformly placed darknet packets (coupon-collector
+// expectation), used by the flow-level generator to synthesize the spread
+// signal without materializing addresses.
+func (t *Telescope) ExpectedSlash16Spread(k int64) int {
+	m := float64(t.NumSlash16())
+	if k <= 0 {
+		return 0
+	}
+	// E[distinct] = m(1 - (1 - 1/m)^k)
+	e := m * (1 - pow1m(1/m, k))
+	return int(e + 0.5)
+}
+
+// pow1m computes (1-x)^k stably for small x and large k.
+func pow1m(x float64, k int64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if x >= 1 {
+		return 0
+	}
+	return math.Exp(float64(k) * math.Log1p(-x))
+}
