@@ -1,0 +1,27 @@
+# Convenience targets for the dnsddos reproduction. The race-gate target
+# is the concurrency CI gate for the real-socket serving path: vet, full
+# build, then the race detector over every package that touches sockets
+# or shared server state.
+
+GO ?= go
+
+.PHONY: build test race-gate bench-throughput report
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Concurrency gate: run before merging changes to the serving path.
+race-gate:
+	$(GO) vet ./... && $(GO) build ./... && \
+	$(GO) test -race ./internal/authserver/... ./internal/resolver/... ./internal/dnsload/...
+
+# Serving-engine throughput (workers=1 is the serialized baseline).
+bench-throughput:
+	$(GO) test -bench 'Server_(UDP|TCP)Throughput' -benchtime 1s -run '^$$' ./internal/authserver/
+
+# The paper's tables and figures.
+report:
+	$(GO) test -bench . -benchtime 1x .

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	serve [-addr 127.0.0.1:5353] [-zonefile FILE | -domains N] [-delay DUR]
+//	      [-workers N] [-readers N] [-maxconns N]
 //
 // Query it with e.g.:
 //
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +32,9 @@ func main() {
 	zonePath := flag.String("zonefile", "", "serve this RFC 1035 master file instead of a generated world")
 	domains := flag.Int("domains", 2000, "generated world size (ignored with -zonefile)")
 	delay := flag.Duration("delay", 0, "artificial per-answer delay (to exercise client timeouts)")
+	workers := flag.Int("workers", 0, "UDP worker pool size (0 = 2×GOMAXPROCS, min 8)")
+	readers := flag.Int("readers", 0, "UDP reader goroutines sharing the socket (0 = 2)")
+	maxconns := flag.Int("maxconns", 0, "concurrent TCP connection cap (0 = 256)")
 	export := flag.String("export", "", "also write the served zone as a master file")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -72,7 +77,10 @@ func main() {
 	}
 
 	srv := authserver.NewServer(zone, logger)
-	srv.Delay = *delay
+	srv.SetDelay(*delay)
+	srv.Workers = *workers
+	srv.Readers = *readers
+	srv.MaxConns = *maxconns
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		logger.Error("starting server", "err", err)
@@ -84,7 +92,10 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	logger.Info("shutting down")
+	st := srv.Stats()
+	logger.Info("shutting down",
+		"udp_answered", st.UDPAnswered, "udp_dropped", st.UDPDropped,
+		"tcp_queries", st.TCPQueries, "tcp_rejected", st.TCPRejected)
 	done := make(chan struct{})
 	go func() {
 		srv.Close()
@@ -97,20 +108,21 @@ func main() {
 	}
 }
 
+// hostOf splits the host out of "host:port", handling IPv6 literals like
+// "[::1]:5353" (the returned host carries no brackets, as dig expects).
 func hostOf(addr string) string {
-	for i := len(addr) - 1; i >= 0; i-- {
-		if addr[i] == ':' {
-			return addr[:i]
-		}
+	h, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
 	}
-	return addr
+	return h
 }
 
+// portOf splits the port out of "host:port", handling IPv6 literals.
 func portOf(addr string) string {
-	for i := len(addr) - 1; i >= 0; i-- {
-		if addr[i] == ':' {
-			return addr[i+1:]
-		}
+	_, p, err := net.SplitHostPort(addr)
+	if err != nil {
+		return ""
 	}
-	return ""
+	return p
 }

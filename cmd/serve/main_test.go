@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dnsddos/internal/authserver"
+	"dnsddos/internal/dnswire"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/resolver"
+)
+
+// TestAddrHelpers covers the host:port splitting the startup banner uses,
+// including the IPv6 literals the seed's byte-scanning helpers mangled.
+func TestAddrHelpers(t *testing.T) {
+	cases := []struct {
+		addr, host, port string
+	}{
+		{"127.0.0.1:5353", "127.0.0.1", "5353"},
+		{"[::1]:5353", "::1", "5353"},
+		{"[2001:db8::53]:53", "2001:db8::53", "53"},
+		{"localhost:53", "localhost", "53"},
+	}
+	for _, c := range cases {
+		if got := hostOf(c.addr); got != c.host {
+			t.Errorf("hostOf(%q) = %q, want %q", c.addr, got, c.host)
+		}
+		if got := portOf(c.addr); got != c.port {
+			t.Errorf("portOf(%q) = %q, want %q", c.addr, got, c.port)
+		}
+	}
+}
+
+// TestIPv6ListenBanner starts the server the way main does on an IPv6
+// listen address and checks the helpers yield a dig-usable host and port.
+func TestIPv6ListenBanner(t *testing.T) {
+	zone := authserver.NewZone()
+	zone.AddNS("v6.example", "ns1.v6.example")
+	zone.AddA("ns1.v6.example", netx.MustParseAddr("192.0.2.6"))
+	srv := authserver.NewServer(zone, nil)
+	bound, err := srv.Start("[::1]:0")
+	if err != nil {
+		t.Skipf("IPv6 loopback unavailable: %v", err)
+	}
+	defer srv.Close()
+	if h := hostOf(bound); h != "::1" {
+		t.Errorf("hostOf(%q) = %q, want ::1", bound, h)
+	}
+	if p := portOf(bound); p == "" || p == "0" {
+		t.Errorf("portOf(%q) = %q, want a real port", bound, p)
+	}
+	client := &resolver.UDPClient{Timeout: 2 * time.Second}
+	m, _, err := client.Query(context.Background(), bound, "v6.example", dnswire.TypeNS)
+	if err != nil {
+		t.Fatalf("query over IPv6 listen address: %v", err)
+	}
+	if len(m.Answers) != 1 {
+		t.Errorf("answers = %d", len(m.Answers))
+	}
+}

@@ -2,7 +2,9 @@
 // synthetic world into the authoritative server (internal/authserver),
 // binds it on loopback UDP+TCP, and performs the same explicit NS queries
 // OpenINTEL performs (§3.2) over actual sockets, printing answers and
-// measured round-trip times.
+// measured round-trip times. It finishes with a short internal/dnsload
+// run against the live server, reporting the sustained answer rate,
+// latency quantiles, and loss of the concurrent serving engine.
 //
 // Run with:
 //
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"dnsddos/internal/authserver"
+	"dnsddos/internal/dnsload"
 	"dnsddos/internal/dnswire"
 	"dnsddos/internal/resolver"
 	"dnsddos/internal/scenario"
@@ -85,4 +88,26 @@ func main() {
 	for _, rr := range msgA.Answers {
 		fmt.Printf("   %s A %s\n", rr.Name, rr.A)
 	}
+
+	// finally, measure what the concurrent engine sustains: a one-second
+	// load run over the same live socket (dnsperfbench-style)
+	names := make([]string, 0, 16)
+	for i := 0; i < 16; i++ {
+		names = append(names, world.DB.Domains[i*len(world.DB.Domains)/16].Name)
+	}
+	fmt.Println("\nload test (UDP, 1s, 16 senders, unthrottled):")
+	res, err := dnsload.Run(ctx, dnsload.Config{
+		Addr:        addr,
+		Names:       names,
+		Concurrency: 16,
+		Duration:    time.Second,
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		log.Fatalf("load run: %v", err)
+	}
+	fmt.Print(res.Summary())
+	st := srv.Stats()
+	fmt.Printf("server counters: udp answered=%d dropped=%d malformed=%d\n",
+		st.UDPAnswered, st.UDPDropped, st.UDPMalformed)
 }

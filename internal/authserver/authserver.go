@@ -3,17 +3,30 @@
 // A records of a dnsdb world, giving the reproduction a genuine network
 // data path for integration tests and the livedns example: the same
 // explicit NS queries OpenINTEL sends (§3.2) travel over actual sockets.
+//
+// The serving path is a concurrent engine: several reader goroutines share
+// the UDP socket (each with a private read buffer) and hand decoded work to
+// a bounded worker pool, so a slow answer — the Delay knob, or a large
+// NSSet encode — never stalls the read loop. TCP connections get one
+// goroutine each under a connection cap, and Close drains in-flight
+// exchanges gracefully. Overload sheds queries (counted in Stats) instead
+// of wedging the socket: under flood the server degrades the way the
+// paper's targets degrade, by dropping, not by freezing.
 package authserver
 
 import (
 	"context"
+	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
+	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnsddos/internal/dnsdb"
@@ -73,6 +86,24 @@ func FromDB(db *dnsdb.DB) *Zone {
 	return z
 }
 
+// apexOf returns the closest enclosing name that has a delegation (NS
+// records) — the zone apex a negative answer's SOA record belongs to.
+// Unknown names fall back to the queried name itself, which still yields a
+// well-formed authority section.
+func (z *Zone) apexOf(name string) string {
+	for n := name; n != ""; {
+		if _, ok := z.ns[n]; ok {
+			return n
+		}
+		i := strings.IndexByte(n, '.')
+		if i < 0 {
+			break
+		}
+		n = n[i+1:]
+	}
+	return name
+}
+
 // Answer builds the response message for one question.
 func (z *Zone) Answer(q dnswire.Question) *dnswire.Message {
 	resp := &dnswire.Message{
@@ -116,11 +147,34 @@ func (z *Zone) Answer(q dnswire.Question) *dnswire.Message {
 			resp.Header.RCode = dnswire.RCodeNXDomain
 		}
 		resp.Authority = append(resp.Authority, dnswire.RR{
-			Name: "", Type: dnswire.TypeSOA, Class: dnswire.ClassIN, TTL: z.ttl,
+			Name: z.apexOf(name), Type: dnswire.TypeSOA, Class: dnswire.ClassIN, TTL: z.ttl,
 			SOA: &dnswire.SOAData{MName: z.soaMName, RName: z.soaRName, Serial: 1, Refresh: 3600, Retry: 600, Expire: 86400, Minimum: z.ttl},
 		})
 	}
 	return resp
+}
+
+// maxTCPMessage is the largest DNS message a 16-bit TCP length prefix can
+// frame (RFC 1035 §4.2.2).
+const maxTCPMessage = 0xffff
+
+// Stats is a snapshot of the server's traffic counters.
+type Stats struct {
+	// UDPReceived counts datagrams read off the UDP socket.
+	UDPReceived int64
+	// UDPAnswered counts UDP responses written.
+	UDPAnswered int64
+	// UDPDropped counts queries shed because the worker queue was full —
+	// the overload signal.
+	UDPDropped int64
+	// UDPMalformed counts datagrams that failed to decode or were not
+	// single-question queries.
+	UDPMalformed int64
+	// TCPAccepted and TCPRejected count connections admitted and refused
+	// at the MaxConns cap. TCPQueries counts exchanges served.
+	TCPAccepted int64
+	TCPRejected int64
+	TCPQueries  int64
 }
 
 // Server serves a Zone over UDP and TCP.
@@ -128,14 +182,40 @@ type Server struct {
 	zone *Zone
 	log  *slog.Logger
 
+	// Workers sizes the UDP worker pool running decode→answer→encode;
+	// zero means 2×GOMAXPROCS (at least 8). Set before Start.
+	Workers int
+	// Readers is the number of goroutines sharing the UDP socket, each
+	// with a private read buffer; zero means 2. Set before Start.
+	Readers int
+	// QueueDepth bounds the pending-query queue between readers and
+	// workers; a full queue sheds new queries (see Stats.UDPDropped).
+	// Zero means 1024. Set before Start.
+	QueueDepth int
+	// MaxConns caps concurrent TCP connections; excess connections are
+	// closed on accept. Zero means 256. Set before Start.
+	MaxConns int
+
+	// delay (nanoseconds) artificially delays every answer; tests use it
+	// to exercise resolver timeout handling over real sockets. Atomic, so
+	// it can be flipped while the server runs.
+	delay atomic.Int64
+
 	mu      sync.Mutex
 	udp     *net.UDPConn
 	tcp     net.Listener
+	conns   map[net.Conn]struct{}
 	wg      sync.WaitGroup
 	started bool
-	// Delay artificially delays every answer; tests use it to exercise
-	// resolver timeout handling over real sockets.
-	Delay time.Duration
+	closing atomic.Bool
+
+	udpReceived  atomic.Int64
+	udpAnswered  atomic.Int64
+	udpDropped   atomic.Int64
+	udpMalformed atomic.Int64
+	tcpAccepted  atomic.Int64
+	tcpRejected  atomic.Int64
+	tcpQueries   atomic.Int64
 }
 
 // NewServer builds a server for the zone. logger may be nil.
@@ -143,8 +223,40 @@ func NewServer(zone *Zone, logger *slog.Logger) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Server{zone: zone, log: logger}
+	return &Server{zone: zone, log: logger, conns: make(map[net.Conn]struct{})}
 }
+
+// SetDelay sets the artificial per-answer delay. Safe to call while the
+// server is running; in-flight answers use the value read at dispatch.
+func (s *Server) SetDelay(d time.Duration) { s.delay.Store(int64(d)) }
+
+// Delay returns the current artificial per-answer delay.
+func (s *Server) Delay() time.Duration { return time.Duration(s.delay.Load()) }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UDPReceived:  s.udpReceived.Load(),
+		UDPAnswered:  s.udpAnswered.Load(),
+		UDPDropped:   s.udpDropped.Load(),
+		UDPMalformed: s.udpMalformed.Load(),
+		TCPAccepted:  s.tcpAccepted.Load(),
+		TCPRejected:  s.tcpRejected.Load(),
+		TCPQueries:   s.tcpQueries.Load(),
+	}
+}
+
+// udpJob is one datagram handed from a reader to the worker pool.
+type udpJob struct {
+	wire *[]byte
+	peer *net.UDPAddr
+}
+
+// bufPool recycles per-datagram copies between readers and workers.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
 
 // Start binds UDP and TCP on addr ("127.0.0.1:0" for tests) and serves
 // until Close. It returns the bound UDP address.
@@ -154,6 +266,26 @@ func (s *Server) Start(addr string) (string, error) {
 	if s.started {
 		return "", errors.New("authserver: already started")
 	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 2 * runtime.GOMAXPROCS(0)
+		if workers < 8 {
+			workers = 8
+		}
+	}
+	readers := s.Readers
+	if readers <= 0 {
+		readers = 2
+	}
+	depth := s.QueueDepth
+	if depth <= 0 {
+		depth = 1024
+	}
+	maxConns := s.MaxConns
+	if maxConns <= 0 {
+		maxConns = 256
+	}
+
 	uaddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return "", err
@@ -169,48 +301,101 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", err
 	}
 	s.udp, s.tcp, s.started = uc, tl, true
-	s.wg.Add(2)
-	go s.serveUDP(uc)
-	go s.serveTCP(tl)
+
+	jobs := make(chan udpJob, depth)
+	var readerWG sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		s.wg.Add(1)
+		readerWG.Add(1)
+		go s.readUDP(uc, jobs, &readerWG)
+	}
+	// once every reader has exited (socket closed), release the workers
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		readerWG.Wait()
+		close(jobs)
+	}()
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.udpWorker(uc, jobs)
+	}
+	s.wg.Add(1)
+	go s.serveTCP(tl, maxConns)
 	return uc.LocalAddr().String(), nil
 }
 
-func (s *Server) serveUDP(conn *net.UDPConn) {
+// readUDP pulls datagrams off the shared socket into the worker queue. It
+// does no parsing and never sleeps: when the queue is full the query is
+// shed, so handler latency cannot stall the socket.
+func (s *Server) readUDP(conn *net.UDPConn, jobs chan<- udpJob, readerWG *sync.WaitGroup) {
 	defer s.wg.Done()
-	buf := make([]byte, 4096)
+	defer readerWG.Done()
+	buf := make([]byte, 65536) // private read buffer; max UDP payload
 	for {
 		n, peer, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			return // closed
 		}
-		resp, err := s.handleUDP(buf[:n])
+		s.udpReceived.Add(1)
+		wire := bufPool.Get().(*[]byte)
+		*wire = append((*wire)[:0], buf[:n]...)
+		select {
+		case jobs <- udpJob{wire: wire, peer: peer}:
+		default:
+			bufPool.Put(wire)
+			s.udpDropped.Add(1)
+		}
+	}
+}
+
+// udpWorker runs decode→answer→encode for queued datagrams and writes the
+// responses. WriteToUDP is safe for concurrent use.
+func (s *Server) udpWorker(conn *net.UDPConn, jobs <-chan udpJob) {
+	defer s.wg.Done()
+	for job := range jobs {
+		if s.closing.Load() {
+			bufPool.Put(job.wire)
+			continue // drain fast on Close; queued queries are shed
+		}
+		resp, err := s.handleUDP(*job.wire)
+		peer := job.peer
+		bufPool.Put(job.wire)
 		if err != nil {
+			s.udpMalformed.Add(1)
 			s.log.Debug("authserver: bad query", "peer", peer, "err", err)
 			continue
 		}
-		if s.Delay > 0 {
-			time.Sleep(s.Delay)
+		if d := s.Delay(); d > 0 {
+			time.Sleep(d)
 		}
 		if _, err := conn.WriteToUDP(resp, peer); err != nil {
 			s.log.Debug("authserver: udp write", "peer", peer, "err", err)
+			continue
 		}
+		s.udpAnswered.Add(1)
 	}
 }
 
 // handleUDP answers one UDP query, truncating responses that exceed the
 // client's UDP payload budget: the classic 512 bytes, or the size an EDNS
-// OPT record advertises (RFC 6891).
+// OPT record advertises (RFC 6891). The wire is decoded exactly once and
+// the parsed message threaded through answering and truncation.
 func (s *Server) handleUDP(wire []byte) ([]byte, error) {
-	resp, err := s.handle(wire)
-	if err != nil {
-		return nil, err
-	}
 	q, err := dnswire.Decode(wire)
 	if err != nil {
 		return nil, err
 	}
-	if len(resp) <= q.MaxUDPPayload() {
-		return resp, nil
+	resp, err := s.answer(q)
+	if err != nil {
+		return nil, err
+	}
+	out, err := dnswire.Encode(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) <= q.MaxUDPPayload() {
+		return out, nil
 	}
 	// re-encode header-and-question only, with TC set
 	trunc := &dnswire.Message{
@@ -229,24 +414,57 @@ func (s *Server) handleUDP(wire []byte) ([]byte, error) {
 	return dnswire.Encode(trunc)
 }
 
-func (s *Server) serveTCP(l net.Listener) {
+// answer validates the already-decoded query and builds its response.
+func (s *Server) answer(q *dnswire.Message) (*dnswire.Message, error) {
+	if q.Header.Response || len(q.Questions) != 1 {
+		return nil, fmt.Errorf("authserver: not a single-question query")
+	}
+	resp := s.zone.Answer(q.Questions[0])
+	resp.Header.ID = q.Header.ID
+	resp.Header.RecursionDesired = q.Header.RecursionDesired
+	return resp, nil
+}
+
+// serveTCP accepts connections under the maxConns cap; excess connections
+// are closed immediately rather than queued, so a connection flood cannot
+// exhaust goroutines.
+func (s *Server) serveTCP(l net.Listener, maxConns int) {
 	defer s.wg.Done()
+	sem := make(chan struct{}, maxConns)
 	for {
 		c, err := l.Accept()
 		if err != nil {
 			return // closed
 		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			s.tcpRejected.Add(1)
+			c.Close()
+			continue
+		}
+		s.tcpAccepted.Add(1)
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer c.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				c.Close()
+				<-sem
+			}()
 			s.serveTCPConn(c)
 		}()
 	}
 }
 
 // serveTCPConn handles length-prefixed DNS over one TCP connection
-// (RFC 1035 §4.2.2).
+// (RFC 1035 §4.2.2). Close drains it gracefully: an in-flight exchange
+// finishes its write, then the poked read deadline ends the loop.
 func (s *Server) serveTCPConn(c net.Conn) {
 	for {
 		if err := c.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
@@ -261,12 +479,12 @@ func (s *Server) serveTCPConn(c net.Conn) {
 		if _, err := io.ReadFull(c, msg); err != nil {
 			return
 		}
-		resp, err := s.handle(msg)
+		resp, err := s.handleTCP(msg)
 		if err != nil {
 			return
 		}
-		if s.Delay > 0 {
-			time.Sleep(s.Delay)
+		if d := s.Delay(); d > 0 {
+			time.Sleep(d)
 		}
 		out := make([]byte, 2+len(resp))
 		binary.BigEndian.PutUint16(out, uint16(len(resp)))
@@ -274,32 +492,73 @@ func (s *Server) serveTCPConn(c net.Conn) {
 		if _, err := c.Write(out); err != nil {
 			return
 		}
+		s.tcpQueries.Add(1)
 	}
 }
 
-func (s *Server) handle(wire []byte) ([]byte, error) {
+// handleTCP answers one TCP query, clamping the response to what a 16-bit
+// length prefix can frame. TC semantics do not apply over TCP, so an
+// oversized answer first sheds its additional section (glue); if the
+// message still cannot fit, the server answers SERVFAIL rather than
+// corrupt the frame.
+func (s *Server) handleTCP(wire []byte) ([]byte, error) {
 	q, err := dnswire.Decode(wire)
 	if err != nil {
 		return nil, err
 	}
-	if q.Header.Response || len(q.Questions) != 1 {
-		return nil, fmt.Errorf("authserver: not a single-question query")
+	resp, err := s.answer(q)
+	if err != nil {
+		return nil, err
 	}
-	resp := s.zone.Answer(q.Questions[0])
-	resp.Header.ID = q.Header.ID
-	resp.Header.RecursionDesired = q.Header.RecursionDesired
-	return dnswire.Encode(resp)
+	out, err := dnswire.Encode(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) <= maxTCPMessage {
+		return out, nil
+	}
+	resp.Additional = nil
+	out, err = dnswire.Encode(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) <= maxTCPMessage {
+		return out, nil
+	}
+	servfail := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               q.Header.ID,
+			Response:         true,
+			Authoritative:    true,
+			RCode:            dnswire.RCodeServFail,
+			RecursionDesired: q.Header.RecursionDesired,
+		},
+		Questions: q.Questions,
+	}
+	return dnswire.Encode(servfail)
 }
 
-// Close stops the listeners and waits for in-flight handlers.
+// Close stops the listeners, sheds queued work, and drains in-flight
+// handlers: active TCP exchanges finish their response write before their
+// read loop is interrupted. Close is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if !s.started {
 		s.mu.Unlock()
 		return nil
 	}
+	if s.closing.Swap(true) {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
 	s.udp.Close()
 	s.tcp.Close()
+	// poke blocked TCP reads; handlers mid-exchange complete their write
+	// first because each connection is served sequentially
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
@@ -307,7 +566,8 @@ func (s *Server) Close() error {
 
 // QueryTCP issues one length-prefixed DNS query over TCP, for tests of the
 // TCP path (DNS-over-TCP is the dominant attack protocol in §6.2, and a
-// real service on authoritative servers).
+// real service on authoritative servers). The response's ID must match the
+// query's ID, mirroring the UDP client's anti-spoofing check.
 func QueryTCP(ctx context.Context, addr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
@@ -320,7 +580,12 @@ func QueryTCP(ctx context.Context, addr, name string, qtype dnswire.Type) (*dnsw
 			return nil, err
 		}
 	}
-	q := dnswire.NewQuery(0x5544, name, qtype)
+	var idb [2]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return nil, err
+	}
+	id := binary.BigEndian.Uint16(idb[:])
+	q := dnswire.NewQuery(id, name, qtype)
 	wire, err := dnswire.Encode(q)
 	if err != nil {
 		return nil, err
@@ -339,5 +604,12 @@ func QueryTCP(ctx context.Context, addr, name string, qtype dnswire.Type) (*dnsw
 	if _, err := io.ReadFull(conn, buf); err != nil {
 		return nil, err
 	}
-	return dnswire.Decode(buf)
+	m, err := dnswire.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if m.Header.ID != id {
+		return nil, fmt.Errorf("authserver: response ID %#04x does not match query ID %#04x", m.Header.ID, id)
+	}
+	return m, nil
 }

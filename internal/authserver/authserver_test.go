@@ -87,6 +87,10 @@ func TestNXDomainWithSOA(t *testing.T) {
 	if len(msg.Authority) != 1 || msg.Authority[0].Type != dnswire.TypeSOA {
 		t.Errorf("authority = %+v", msg.Authority)
 	}
+	// the SOA owner is the queried name's zone apex, not the root
+	if got := msg.Authority[0].Name; got != "example.nl" {
+		t.Errorf("SOA owner = %q, want zone apex %q", got, "example.nl")
+	}
 }
 
 func TestNoDataForKnownName(t *testing.T) {
@@ -148,7 +152,7 @@ func TestClientTimeoutAgainstSlowServer(t *testing.T) {
 	zone := NewZone()
 	zone.AddNS("slow.example", "ns1.slow.example")
 	srv := NewServer(zone, nil)
-	srv.Delay = 300 * time.Millisecond
+	srv.SetDelay(300 * time.Millisecond)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

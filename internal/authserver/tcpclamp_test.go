@@ -1,0 +1,115 @@
+package authserver
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dnsddos/internal/dnswire"
+	"dnsddos/internal/netx"
+)
+
+// hugeGlueZone builds a delegation whose full response (answers + glue)
+// exceeds the 64 KiB TCP frame, but whose answer section alone fits.
+func hugeGlueZone(t *testing.T) *Zone {
+	t.Helper()
+	zone := NewZone()
+	for i := 0; i < 800; i++ {
+		host := fmt.Sprintf("nameserver-%04d-with-quite-a-long-padding-label.very-long-provider-name.example", i)
+		zone.AddNS("huge.example", host)
+		for a := 0; a < 4; a++ {
+			zone.AddA(host, netx.Addr(uint32(0x0a000000+i*4+a)))
+		}
+	}
+	return zone
+}
+
+// hugeAnswerZone builds a delegation whose answer section alone exceeds
+// the 64 KiB TCP frame even with no glue at all.
+func hugeAnswerZone(t *testing.T) *Zone {
+	t.Helper()
+	zone := NewZone()
+	for i := 0; i < 1200; i++ {
+		host := fmt.Sprintf("nameserver-%04d-with-quite-a-long-padding-label.very-long-provider-name.example", i)
+		zone.AddNS("huge.example", host)
+	}
+	return zone
+}
+
+// TestTCPOversizedResponseShedsGlue: a response past the 16-bit length
+// prefix must not be written with a wrapped length (the seed silently
+// corrupted the frame); the server drops the additional section first.
+func TestTCPOversizedResponseShedsGlue(t *testing.T) {
+	zone := hugeGlueZone(t)
+	// the full encoding really is oversized, and answers alone are not
+	full, err := dnswire.Encode(zone.Answer(dnswire.Question{
+		Name: "huge.example", Type: dnswire.TypeNS, Class: dnswire.ClassIN}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) <= maxTCPMessage {
+		t.Fatalf("test zone too small: full response is %d bytes", len(full))
+	}
+
+	srv := NewServer(zone, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m, err := QueryTCP(ctx, addr, "huge.example", dnswire.TypeNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.RCode != dnswire.RCodeNoError {
+		t.Fatalf("rcode = %v", m.Header.RCode)
+	}
+	if len(m.Answers) != 800 {
+		t.Errorf("answers = %d, want all 800 NS records", len(m.Answers))
+	}
+	if len(m.Additional) != 0 {
+		t.Errorf("additional = %d, want glue shed to fit the frame", len(m.Additional))
+	}
+	if m.Header.Truncated {
+		t.Error("TC semantics do not apply to TCP")
+	}
+}
+
+// TestTCPOversizedAnswerServfails: when even the glue-less message cannot
+// fit a TCP frame the server answers SERVFAIL instead of corrupting the
+// length prefix.
+func TestTCPOversizedAnswerServfails(t *testing.T) {
+	zone := hugeAnswerZone(t)
+	noGlue := zone.Answer(dnswire.Question{
+		Name: "huge.example", Type: dnswire.TypeNS, Class: dnswire.ClassIN})
+	noGlue.Additional = nil
+	wire, err := dnswire.Encode(noGlue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) <= maxTCPMessage {
+		t.Fatalf("test zone too small: glue-less response is %d bytes", len(wire))
+	}
+
+	srv := NewServer(zone, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m, err := QueryTCP(ctx, addr, "huge.example", dnswire.TypeNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %v, want SERVFAIL", m.Header.RCode)
+	}
+	if len(m.Answers) != 0 {
+		t.Errorf("answers = %d, want none", len(m.Answers))
+	}
+}

@@ -1,0 +1,144 @@
+package dnsload
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsddos/internal/authserver"
+	"dnsddos/internal/dnswire"
+	"dnsddos/internal/netx"
+)
+
+// startServer brings up a small authoritative zone on loopback.
+func startServer(t *testing.T) string {
+	t.Helper()
+	zone := authserver.NewZone()
+	zone.AddNS("load.example", "ns1.load.example")
+	zone.AddNS("load.example", "ns2.load.example")
+	zone.AddA("ns1.load.example", netx.MustParseAddr("192.0.2.1"))
+	zone.AddA("ns2.load.example", netx.MustParseAddr("192.0.2.2"))
+	srv := authserver.NewServer(zone, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func TestRunUDP(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(context.Background(), Config{
+		Addr:        addr,
+		Names:       []string{"load.example", "missing.load.example"},
+		Concurrency: 4,
+		Queries:     200,
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 200 {
+		t.Errorf("sent = %d, want 200", res.Sent)
+	}
+	if res.Received < 190 {
+		t.Errorf("received = %d (loss %.1f%%); loopback should deliver nearly all",
+			res.Received, 100*res.LossRate())
+	}
+	if res.RCodes[dnswire.RCodeNoError] == 0 || res.RCodes[dnswire.RCodeNXDomain] == 0 {
+		t.Errorf("rcodes = %v, want both NOERROR and NXDOMAIN", res.RCodes)
+	}
+	if res.LatencyQuantile(0.5) <= 0 || res.LatencyQuantile(0.99) < res.LatencyQuantile(0.5) {
+		t.Errorf("quantiles out of order: p50=%v p99=%v",
+			res.LatencyQuantile(0.5), res.LatencyQuantile(0.99))
+	}
+	if res.QPS() <= 0 {
+		t.Error("achieved rate must be positive")
+	}
+}
+
+func TestRunTCP(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(context.Background(), Config{
+		Addr:        addr,
+		Names:       []string{"load.example"},
+		Proto:       ProtoTCP,
+		Concurrency: 2,
+		Queries:     50,
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received != 50 || res.Errors != 0 {
+		t.Errorf("received=%d errors=%d, want 50/0", res.Received, res.Errors)
+	}
+	if res.RCodes[dnswire.RCodeNoError] != 50 {
+		t.Errorf("rcodes = %v", res.RCodes)
+	}
+}
+
+func TestRunPacedDuration(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(context.Background(), Config{
+		Addr:        addr,
+		Names:       []string{"load.example"},
+		Concurrency: 2,
+		TargetQPS:   400,
+		Duration:    500 * time.Millisecond,
+		Timeout:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 400 q/s over 0.5 s ≈ 200 queries; allow wide scheduling slack but
+	// catch a broken pacer (which would send tens of thousands)
+	if res.Sent < 20 || res.Sent > 400 {
+		t.Errorf("paced run sent %d queries, want ≈200", res.Sent)
+	}
+}
+
+func TestHistogramAndSummary(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(context.Background(), Config{
+		Addr:        addr,
+		Names:       []string{"load.example"},
+		Concurrency: 2,
+		Queries:     40,
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.LatencyHistogram(10)
+	if h.N != res.Received {
+		t.Errorf("histogram holds %d samples, want %d", h.N, res.Received)
+	}
+	var binned int64
+	for _, c := range h.Counts {
+		binned += c
+	}
+	if binned+h.Under+h.Over != h.N {
+		t.Errorf("histogram bins lose samples: %d+%d+%d != %d", binned, h.Under, h.Over, h.N)
+	}
+	sum := res.Summary()
+	for _, want := range []string{"sent 40", "latency p50", "NOERROR"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Names: []string{"x"}}); err == nil {
+		t.Error("missing addr must error")
+	}
+	if _, err := Run(context.Background(), Config{Addr: "127.0.0.1:1"}); err == nil {
+		t.Error("missing names must error")
+	}
+	if _, err := Run(context.Background(), Config{Addr: "127.0.0.1:1", Names: []string{"x"}, Proto: "smoke"}); err == nil {
+		t.Error("unknown proto must error")
+	}
+}
