@@ -5,18 +5,33 @@
 
 GO ?= go
 
-.PHONY: build test race-gate bench-throughput report
+.PHONY: build test race-gate chaos bench-throughput report
 
 build:
 	$(GO) build ./...
 
 test: build
+	$(GO) vet ./...
 	$(GO) test ./...
 
 # Concurrency gate: run before merging changes to the serving path.
 race-gate:
 	$(GO) vet ./... && $(GO) build ./... && \
 	$(GO) test -race ./internal/authserver/... ./internal/resolver/... ./internal/dnsload/...
+
+# Chaos gate: the fault-injection and graceful-degradation regression
+# suite under the race detector — the netem-style wrappers, the retrying
+# live resolver against lossy/dead servers, RRL/overload shedding, and
+# dnsload's failure classification.
+chaos:
+	$(GO) test -race ./internal/faultinject/ \
+		-run . -count 1
+	$(GO) test -race ./internal/authserver/ \
+		-run 'TestOverload|TestRRL|TestReflex|TestWrappedListener' -count 1 -v
+	$(GO) test -race ./internal/resolver/ \
+		-run 'TestLive|TestQueryWith|TestUDPClientEDNS' -count 1 -v
+	$(GO) test -race ./internal/dnsload/ \
+		-run 'TestFailure|TestPartialLoss' -count 1 -v
 
 # Serving-engine throughput (workers=1 is the serialized baseline).
 bench-throughput:

@@ -7,6 +7,15 @@
 //
 //	serve [-addr 127.0.0.1:5353] [-zonefile FILE | -domains N] [-delay DUR]
 //	      [-workers N] [-readers N] [-maxconns N]
+//	      [-overload drop|servfail|tc] [-rrl-rps N] [-rrl-slip N]
+//	      [-fault-drop P] [-fault-latency DUR] [-fault-jitter DUR]
+//	      [-fault-dup P] [-fault-corrupt P] [-fault-start DUR -fault-window DUR]
+//
+// The -fault-* flags emulate a DDoS attack window netem-style on the
+// server's own UDP listener; with -fault-start/-fault-window the faults
+// engage on a schedule (healthy → attack → recovered), otherwise they
+// hold for the whole run. -rrl-* and -overload select the graceful-
+// degradation behaviour under flood.
 //
 // Query it with e.g.:
 //
@@ -24,6 +33,7 @@ import (
 	"time"
 
 	"dnsddos/internal/authserver"
+	"dnsddos/internal/faultinject"
 	"dnsddos/internal/scenario"
 )
 
@@ -36,8 +46,25 @@ func main() {
 	readers := flag.Int("readers", 0, "UDP reader goroutines sharing the socket (0 = 2)")
 	maxconns := flag.Int("maxconns", 0, "concurrent TCP connection cap (0 = 256)")
 	export := flag.String("export", "", "also write the served zone as a master file")
+	overload := flag.String("overload", "drop", "overload policy for shed queries: drop, servfail, or tc")
+	rrlRPS := flag.Float64("rrl-rps", 0, "RRL responses/s per source /24 (0 disables)")
+	rrlSlip := flag.Int("rrl-slip", 2, "send every Nth rate-limited response as TC (0 never slips)")
+	fDrop := flag.Float64("fault-drop", 0, "listener fault: datagram drop probability [0,1]")
+	fLatency := flag.Duration("fault-latency", 0, "listener fault: added latency")
+	fJitter := flag.Duration("fault-jitter", 0, "listener fault: latency jitter (± uniform)")
+	fDup := flag.Float64("fault-dup", 0, "listener fault: duplication probability")
+	fCorrupt := flag.Float64("fault-corrupt", 0, "listener fault: bit-corruption probability")
+	fStart := flag.Duration("fault-start", 0, "with -fault-window: engage faults this long after start")
+	fWindow := flag.Duration("fault-window", 0, "fault window length (0 = faults hold indefinitely)")
+	fSeed := flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	policy, err := authserver.ParseOverloadPolicy(*overload)
+	if err != nil {
+		logger.Error("bad -overload", "err", err)
+		os.Exit(1)
+	}
 
 	var zone *authserver.Zone
 	if *zonePath != "" {
@@ -81,6 +108,33 @@ func main() {
 	srv.Workers = *workers
 	srv.Readers = *readers
 	srv.MaxConns = *maxconns
+	srv.Overload = policy
+	if *rrlRPS > 0 {
+		srv.RRL = &authserver.RRLConfig{ResponsesPerSecond: *rrlRPS, Slip: *rrlSlip}
+	}
+
+	attack := faultinject.Profile{
+		Drop:      *fDrop,
+		Latency:   *fLatency,
+		Jitter:    *fJitter,
+		Duplicate: *fDup,
+		Corrupt:   *fCorrupt,
+	}
+	if attack.Active() {
+		inj := faultinject.New(*fSeed)
+		if *fWindow > 0 {
+			inj.Engage(faultinject.AttackWindow(*fStart, *fStart+*fWindow, attack))
+			logger.Info("fault window scheduled",
+				"start", *fStart, "end", *fStart+*fWindow, "profile", fmt.Sprintf("%+v", attack))
+		} else {
+			inj.SetProfile(attack)
+			logger.Info("faults engaged for the whole run", "profile", fmt.Sprintf("%+v", attack))
+		}
+		srv.WrapUDP = func(pc net.PacketConn) net.PacketConn {
+			return faultinject.WrapPacketConn(pc, inj)
+		}
+	}
+
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		logger.Error("starting server", "err", err)
@@ -95,6 +149,8 @@ func main() {
 	st := srv.Stats()
 	logger.Info("shutting down",
 		"udp_answered", st.UDPAnswered, "udp_dropped", st.UDPDropped,
+		"shed_servfail", st.UDPShedServFail, "shed_tc", st.UDPShedTruncated,
+		"rrl_dropped", st.RRLDropped, "rrl_slipped", st.RRLSlipped,
 		"tcp_queries", st.TCPQueries, "tcp_rejected", st.TCPRejected)
 	done := make(chan struct{})
 	go func() {

@@ -2,9 +2,13 @@
 // synthetic world into the authoritative server (internal/authserver),
 // binds it on loopback UDP+TCP, and performs the same explicit NS queries
 // OpenINTEL performs (§3.2) over actual sockets, printing answers and
-// measured round-trip times. It finishes with a short internal/dnsload
-// run against the live server, reporting the sustained answer rate,
-// latency quantiles, and loss of the concurrent serving engine.
+// measured round-trip times. It then runs a short internal/dnsload
+// benchmark against the live server, and finishes with a scripted
+// "attack window": netem-style faults (loss + latency jitter) engage on
+// the server's own listener while load keeps flowing, and the RTT-impact
+// ratio — attack-window latency over baseline, the paper's Eq. 1 — is
+// printed alongside the failure breakdown (the Fig. 4 narrative: RTTs
+// inflate and losses mount during the event, then recover).
 //
 // Run with:
 //
@@ -15,11 +19,13 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	"dnsddos/internal/authserver"
 	"dnsddos/internal/dnsload"
 	"dnsddos/internal/dnswire"
+	"dnsddos/internal/faultinject"
 	"dnsddos/internal/resolver"
 	"dnsddos/internal/scenario"
 )
@@ -32,6 +38,12 @@ func main() {
 
 	zone := authserver.FromDB(world.DB)
 	srv := authserver.NewServer(zone, nil)
+	// interpose the fault injector on the listener now; it stays inert
+	// (zero profile) until the attack window below engages it
+	inj := faultinject.New(1)
+	srv.WrapUDP = func(pc net.PacketConn) net.PacketConn {
+		return faultinject.WrapPacketConn(pc, inj)
+	}
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		log.Fatalf("starting authoritative server: %v", err)
@@ -110,4 +122,77 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("server counters: udp answered=%d dropped=%d malformed=%d\n",
 		st.UDPAnswered, st.UDPDropped, st.UDPMalformed)
+
+	// ---- scripted attack window (Eq. 1 / Fig. 4 narrative) ----
+	// Three phases against the same live server: a healthy baseline, an
+	// attack window with 40% loss and 3ms±2ms added latency on the
+	// listener, and recovery. The retrying LiveResolver keeps resolving
+	// through the window — at inflated RTT — which is exactly the
+	// paper's observation for victims that kept some capacity.
+	fmt.Println("\nattack window (loss 40%, +3ms±2ms on the server listener):")
+	loadPhase := func(label string) *dnsload.Result {
+		r, err := dnsload.Run(ctx, dnsload.Config{
+			Addr:        addr,
+			Names:       names,
+			Concurrency: 8,
+			TargetQPS:   400,
+			Duration:    1500 * time.Millisecond,
+			Timeout:     500 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatalf("%s load run: %v", label, err)
+		}
+		fmt.Printf("  %-9s answered %5d/%5d  loss %5.1f%%  p50 %8s  p99 %8s  failures: timeout=%d decode=%d\n",
+			label, r.Received, r.Sent, 100*r.LossRate(),
+			r.LatencyQuantile(0.5).Round(time.Microsecond),
+			r.LatencyQuantile(0.99).Round(time.Microsecond),
+			r.Timeouts, r.DecodeErrors)
+		return r
+	}
+
+	baseline := loadPhase("baseline")
+	inj.SetProfile(faultinject.Profile{
+		Drop:    0.4,
+		Latency: 3 * time.Millisecond,
+		Jitter:  2 * time.Millisecond,
+	})
+	under := loadPhase("attack")
+	inj.SetProfile(faultinject.Profile{})
+	recovered := loadPhase("recovered")
+
+	// Eq. 1: impact-on-RTT = in-window RTT over the pre-event average
+	if b := baseline.MeanLatency(); b > 0 && under.Received > 0 {
+		fmt.Printf("  RTT-impact ratio (attack mean / baseline mean, Eq. 1): %.1fx\n",
+			float64(under.MeanLatency())/float64(b))
+		fmt.Printf("  recovery ratio: %.1fx\n",
+			float64(recovered.MeanLatency())/float64(b))
+	}
+
+	// a retrying stub through the same window: the LiveResolver absorbs
+	// the loss with per-try timeouts and retries, trading RTT for success
+	inj.SetProfile(faultinject.Profile{Drop: 0.4, Latency: 3 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	lr := resolver.NewLiveResolver(resolver.LiveConfig{
+		PerTryTimeout: 300 * time.Millisecond,
+		MaxTries:      4,
+		Backoff:       20 * time.Millisecond,
+	}, nil)
+	okCount, totalTries := 0, 0
+	var totalRTT time.Duration
+	const probes = 10
+	for i := 0; i < probes; i++ {
+		out := lr.Resolve(ctx, []string{addr}, samples[0], dnswire.TypeNS)
+		if out.Status.String() == "OK" {
+			okCount++
+			totalTries += out.Tries
+			totalRTT += out.RTT
+		}
+	}
+	inj.SetProfile(faultinject.Profile{})
+	if okCount > 0 {
+		fmt.Printf("  live resolver through the window: %d/%d resolved, avg %.1f tries, avg RTT %s\n",
+			okCount, probes, float64(totalTries)/float64(okCount),
+			(totalRTT / time.Duration(okCount)).Round(time.Microsecond))
+	} else {
+		fmt.Printf("  live resolver through the window: 0/%d resolved\n", probes)
+	}
 }

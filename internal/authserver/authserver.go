@@ -158,15 +158,72 @@ func (z *Zone) Answer(q dnswire.Question) *dnswire.Message {
 // frame (RFC 1035 §4.2.2).
 const maxTCPMessage = 0xffff
 
+// OverloadPolicy selects what a query shed at the full worker queue gets
+// back — the degradation mode of an overloaded authoritative. The
+// paper's failing events split 92% timeout / 8% SERVFAIL (§6.3.1):
+// silent drops produce the timeouts, answering servers the SERVFAILs.
+type OverloadPolicy int
+
+// Overload policies.
+const (
+	// OverloadDrop sheds silently; the client sees a timeout.
+	OverloadDrop OverloadPolicy = iota
+	// OverloadServFail answers shed queries with a minimal SERVFAIL
+	// built by bit-twiddling the query in the reader (no decode).
+	OverloadServFail
+	// OverloadTruncate answers shed queries with a minimal truncated
+	// response, pushing clients to retry over TCP.
+	OverloadTruncate
+)
+
+// String renders the policy (the cmd/serve flag values).
+func (p OverloadPolicy) String() string {
+	switch p {
+	case OverloadDrop:
+		return "drop"
+	case OverloadServFail:
+		return "servfail"
+	case OverloadTruncate:
+		return "tc"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseOverloadPolicy maps a flag value ("drop", "servfail", "tc") back
+// to its policy.
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	switch s {
+	case "drop":
+		return OverloadDrop, nil
+	case "servfail":
+		return OverloadServFail, nil
+	case "tc":
+		return OverloadTruncate, nil
+	}
+	return OverloadDrop, fmt.Errorf("unknown overload policy %q (want drop, servfail, or tc)", s)
+}
+
 // Stats is a snapshot of the server's traffic counters.
 type Stats struct {
 	// UDPReceived counts datagrams read off the UDP socket.
 	UDPReceived int64
-	// UDPAnswered counts UDP responses written.
+	// UDPAnswered counts UDP responses written on the normal path
+	// (excluding shed-policy and RRL-slip reflexes).
 	UDPAnswered int64
 	// UDPDropped counts queries shed because the worker queue was full —
-	// the overload signal.
+	// the overload signal — whatever the Overload policy answered.
 	UDPDropped int64
+	// UDPShedServFail and UDPShedTruncated break the sheds down by what
+	// the Overload policy sent back; sheds under OverloadDrop send
+	// nothing and appear only in UDPDropped.
+	UDPShedServFail  int64
+	UDPShedTruncated int64
+	// RRLDropped counts responses suppressed by response rate limiting;
+	// RRLSlipped counts limited responses sent as minimal truncated
+	// answers instead (the SLIP escape hatch).
+	RRLDropped int64
+	RRLSlipped int64
 	// UDPMalformed counts datagrams that failed to decode or were not
 	// single-question queries.
 	UDPMalformed int64
@@ -195,6 +252,19 @@ type Server struct {
 	// MaxConns caps concurrent TCP connections; excess connections are
 	// closed on accept. Zero means 256. Set before Start.
 	MaxConns int
+	// Overload selects what shed queries get back when the worker queue
+	// is full: silence (drop), SERVFAIL, or TC. Set before Start.
+	Overload OverloadPolicy
+	// RRL, when non-nil, enables per-source-prefix response rate
+	// limiting with SLIP (see RRLConfig). Set before Start.
+	RRL *RRLConfig
+	// WrapUDP, when set, wraps the bound UDP listener before serving —
+	// the listener-side fault-injection hook (e.g. a closure over
+	// faultinject.WrapPacketConn). Set before Start; the injector
+	// behind the wrapper may be reshaped while the server runs.
+	WrapUDP func(net.PacketConn) net.PacketConn
+	// WrapTCP wraps each accepted TCP connection. Set before Start.
+	WrapTCP func(net.Conn) net.Conn
 
 	// delay (nanoseconds) artificially delays every answer; tests use it
 	// to exercise resolver timeout handling over real sockets. Atomic, so
@@ -202,20 +272,25 @@ type Server struct {
 	delay atomic.Int64
 
 	mu      sync.Mutex
-	udp     *net.UDPConn
+	pc      net.PacketConn // the (possibly fault-wrapped) serving socket
 	tcp     net.Listener
 	conns   map[net.Conn]struct{}
 	wg      sync.WaitGroup
 	started bool
 	closing atomic.Bool
+	rrl     *rrlLimiter
 
-	udpReceived  atomic.Int64
-	udpAnswered  atomic.Int64
-	udpDropped   atomic.Int64
-	udpMalformed atomic.Int64
-	tcpAccepted  atomic.Int64
-	tcpRejected  atomic.Int64
-	tcpQueries   atomic.Int64
+	udpReceived   atomic.Int64
+	udpAnswered   atomic.Int64
+	udpDropped    atomic.Int64
+	shedServFail  atomic.Int64
+	shedTruncated atomic.Int64
+	rrlDropped    atomic.Int64
+	rrlSlipped    atomic.Int64
+	udpMalformed  atomic.Int64
+	tcpAccepted   atomic.Int64
+	tcpRejected   atomic.Int64
+	tcpQueries    atomic.Int64
 }
 
 // NewServer builds a server for the zone. logger may be nil.
@@ -236,20 +311,24 @@ func (s *Server) Delay() time.Duration { return time.Duration(s.delay.Load()) }
 // Stats returns a snapshot of the traffic counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		UDPReceived:  s.udpReceived.Load(),
-		UDPAnswered:  s.udpAnswered.Load(),
-		UDPDropped:   s.udpDropped.Load(),
-		UDPMalformed: s.udpMalformed.Load(),
-		TCPAccepted:  s.tcpAccepted.Load(),
-		TCPRejected:  s.tcpRejected.Load(),
-		TCPQueries:   s.tcpQueries.Load(),
+		UDPReceived:      s.udpReceived.Load(),
+		UDPAnswered:      s.udpAnswered.Load(),
+		UDPDropped:       s.udpDropped.Load(),
+		UDPShedServFail:  s.shedServFail.Load(),
+		UDPShedTruncated: s.shedTruncated.Load(),
+		RRLDropped:       s.rrlDropped.Load(),
+		RRLSlipped:       s.rrlSlipped.Load(),
+		UDPMalformed:     s.udpMalformed.Load(),
+		TCPAccepted:      s.tcpAccepted.Load(),
+		TCPRejected:      s.tcpRejected.Load(),
+		TCPQueries:       s.tcpQueries.Load(),
 	}
 }
 
 // udpJob is one datagram handed from a reader to the worker pool.
 type udpJob struct {
 	wire *[]byte
-	peer *net.UDPAddr
+	peer net.Addr
 }
 
 // bufPool recycles per-datagram copies between readers and workers.
@@ -300,14 +379,21 @@ func (s *Server) Start(addr string) (string, error) {
 		uc.Close()
 		return "", err
 	}
-	s.udp, s.tcp, s.started = uc, tl, true
+	pc := net.PacketConn(uc)
+	if s.WrapUDP != nil {
+		pc = s.WrapUDP(pc)
+	}
+	if s.RRL != nil && s.RRL.ResponsesPerSecond > 0 {
+		s.rrl = newRRLLimiter(*s.RRL)
+	}
+	s.pc, s.tcp, s.started = pc, tl, true
 
 	jobs := make(chan udpJob, depth)
 	var readerWG sync.WaitGroup
 	for i := 0; i < readers; i++ {
 		s.wg.Add(1)
 		readerWG.Add(1)
-		go s.readUDP(uc, jobs, &readerWG)
+		go s.readUDP(pc, jobs, &readerWG)
 	}
 	// once every reader has exited (socket closed), release the workers
 	s.wg.Add(1)
@@ -318,7 +404,7 @@ func (s *Server) Start(addr string) (string, error) {
 	}()
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
-		go s.udpWorker(uc, jobs)
+		go s.udpWorker(pc, jobs)
 	}
 	s.wg.Add(1)
 	go s.serveTCP(tl, maxConns)
@@ -327,13 +413,15 @@ func (s *Server) Start(addr string) (string, error) {
 
 // readUDP pulls datagrams off the shared socket into the worker queue. It
 // does no parsing and never sleeps: when the queue is full the query is
-// shed, so handler latency cannot stall the socket.
-func (s *Server) readUDP(conn *net.UDPConn, jobs chan<- udpJob, readerWG *sync.WaitGroup) {
+// shed, so handler latency cannot stall the socket. What a shed query
+// gets back is the Overload policy's call — nothing, or a reflex
+// SERVFAIL/TC built without decoding.
+func (s *Server) readUDP(conn net.PacketConn, jobs chan<- udpJob, readerWG *sync.WaitGroup) {
 	defer s.wg.Done()
 	defer readerWG.Done()
 	buf := make([]byte, 65536) // private read buffer; max UDP payload
 	for {
-		n, peer, err := conn.ReadFromUDP(buf)
+		n, peer, err := conn.ReadFrom(buf)
 		if err != nil {
 			return // closed
 		}
@@ -343,23 +431,80 @@ func (s *Server) readUDP(conn *net.UDPConn, jobs chan<- udpJob, readerWG *sync.W
 		select {
 		case jobs <- udpJob{wire: wire, peer: peer}:
 		default:
-			bufPool.Put(wire)
 			s.udpDropped.Add(1)
+			s.shedReflex(conn, *wire, peer)
+			bufPool.Put(wire)
 		}
 	}
 }
 
+// shedReflex answers one shed query per the Overload policy. It mutates
+// the query bytes in place (the caller owns the copy) — no decode, no
+// allocation — so the degraded path stays cheap under exactly the load
+// that triggers it.
+func (s *Server) shedReflex(conn net.PacketConn, wire []byte, peer net.Addr) {
+	switch s.Overload {
+	case OverloadServFail:
+		if out := reflexResponse(wire, dnswire.RCodeServFail, false); out != nil {
+			conn.WriteTo(out, peer)
+			s.shedServFail.Add(1)
+		}
+	case OverloadTruncate:
+		if out := reflexResponse(wire, dnswire.RCodeNoError, true); out != nil {
+			conn.WriteTo(out, peer)
+			s.shedTruncated.Add(1)
+		}
+	}
+}
+
+// reflexResponse turns a raw query datagram into a minimal response in
+// place: QR set, the given rcode, optionally TC, answer/authority counts
+// zeroed. The question section (and any EDNS OPT record) is echoed
+// as-is. Returns nil for datagrams that are not plausible queries.
+func reflexResponse(wire []byte, rcode dnswire.RCode, tc bool) []byte {
+	if len(wire) < 12 || wire[2]&0x80 != 0 {
+		return nil // too short, or already a response
+	}
+	wire[2] |= 0x80  // QR
+	wire[2] &^= 0x06 // clear AA and TC
+	if tc {
+		wire[2] |= 0x02
+	}
+	wire[3] = byte(rcode) & 0x0f // clears RA/Z, sets rcode
+	wire[6], wire[7] = 0, 0      // ANCOUNT
+	wire[8], wire[9] = 0, 0      // NSCOUNT
+	return wire
+}
+
 // udpWorker runs decode→answer→encode for queued datagrams and writes the
-// responses. WriteToUDP is safe for concurrent use.
-func (s *Server) udpWorker(conn *net.UDPConn, jobs <-chan udpJob) {
+// responses, applying response rate limiting first. WriteTo is safe for
+// concurrent use.
+func (s *Server) udpWorker(conn net.PacketConn, jobs <-chan udpJob) {
 	defer s.wg.Done()
 	for job := range jobs {
 		if s.closing.Load() {
 			bufPool.Put(job.wire)
 			continue // drain fast on Close; queued queries are shed
 		}
-		resp, err := s.handleUDP(*job.wire)
 		peer := job.peer
+		if s.rrl != nil {
+			// RRL accounts responses per source prefix before the
+			// answer is built: a limited query costs no encode work.
+			switch s.rrl.account(peer, time.Now()) {
+			case rrlDrop:
+				s.rrlDropped.Add(1)
+				bufPool.Put(job.wire)
+				continue
+			case rrlSlip:
+				if out := reflexResponse(*job.wire, dnswire.RCodeNoError, true); out != nil {
+					conn.WriteTo(out, peer)
+				}
+				s.rrlSlipped.Add(1)
+				bufPool.Put(job.wire)
+				continue
+			}
+		}
+		resp, err := s.handleUDP(*job.wire)
 		bufPool.Put(job.wire)
 		if err != nil {
 			s.udpMalformed.Add(1)
@@ -369,7 +514,7 @@ func (s *Server) udpWorker(conn *net.UDPConn, jobs <-chan udpJob) {
 		if d := s.Delay(); d > 0 {
 			time.Sleep(d)
 		}
-		if _, err := conn.WriteToUDP(resp, peer); err != nil {
+		if _, err := conn.WriteTo(resp, peer); err != nil {
 			s.log.Debug("authserver: udp write", "peer", peer, "err", err)
 			continue
 		}
@@ -444,6 +589,9 @@ func (s *Server) serveTCP(l net.Listener, maxConns int) {
 			continue
 		}
 		s.tcpAccepted.Add(1)
+		if s.WrapTCP != nil {
+			c = s.WrapTCP(c)
+		}
 		s.mu.Lock()
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
@@ -552,7 +700,7 @@ func (s *Server) Close() error {
 		s.wg.Wait()
 		return nil
 	}
-	s.udp.Close()
+	s.pc.Close()
 	s.tcp.Close()
 	// poke blocked TCP reads; handlers mid-exchange complete their write
 	// first because each connection is served sequentially

@@ -1,0 +1,136 @@
+// rrl.go implements response rate limiting (RRL), the standard
+// authoritative-server defense against the spoofed floods and
+// amplification abuse the paper's victims face: responses to any one
+// source /24 are token-bucket limited, and a configurable fraction of
+// limited responses "slip" out as minimal truncated answers instead of
+// silence, so a legitimate client behind a spoofed prefix can still
+// reach the server by retrying over TCP (BIND/NSD's SLIP behaviour).
+package authserver
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// RRLConfig enables per-source response rate limiting.
+type RRLConfig struct {
+	// ResponsesPerSecond is the sustained response budget per source
+	// /24 (IPv4) or /56 (IPv6). Zero disables RRL.
+	ResponsesPerSecond float64
+	// Burst is the bucket depth — how many back-to-back responses a
+	// quiet source may draw before the rate applies. Zero means
+	// ResponsesPerSecond (a one-second burst).
+	Burst float64
+	// Slip sends every Slip-th rate-limited response as a minimal
+	// truncated (TC) answer instead of dropping it, inviting the real
+	// owner of the address to retry over TCP. Zero never slips;
+	// BIND's default is 2.
+	Slip int
+}
+
+// rrlAction is the limiter's verdict for one response.
+type rrlAction int
+
+const (
+	rrlSend rrlAction = iota
+	rrlDrop
+	rrlSlip
+)
+
+// rrlBucketCap bounds the tracked-prefix table; when exceeded, buckets
+// idle longer than rrlIdleEvict are swept. A flood from spoofed /24s
+// cannot grow the table without bound.
+const (
+	rrlBucketCap  = 1 << 16
+	rrlIdleEvict  = 10 * time.Second
+	rrlSweepEvery = 4096
+)
+
+// rrlBucket is one source prefix's token bucket.
+type rrlBucket struct {
+	tokens  float64
+	last    time.Time
+	slipSeq int
+}
+
+// rrlLimiter applies RRLConfig across source prefixes.
+type rrlLimiter struct {
+	cfg RRLConfig
+
+	mu      sync.Mutex
+	buckets map[string]*rrlBucket
+	sinceGC int
+}
+
+func newRRLLimiter(cfg RRLConfig) *rrlLimiter {
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.ResponsesPerSecond
+	}
+	return &rrlLimiter{cfg: cfg, buckets: make(map[string]*rrlBucket)}
+}
+
+// prefixKey maps a peer address to its rate-limit bucket key: the /24
+// for IPv4 sources, /56 for IPv6, following RRL practice of limiting
+// the prefix a spoofing attacker actually controls responses toward.
+func prefixKey(addr net.Addr) string {
+	var ip net.IP
+	switch a := addr.(type) {
+	case *net.UDPAddr:
+		ip = a.IP
+	case *net.TCPAddr:
+		ip = a.IP
+	default:
+		return addr.String()
+	}
+	if v4 := ip.To4(); v4 != nil {
+		return string(v4.Mask(net.CIDRMask(24, 32)))
+	}
+	return string(ip.Mask(net.CIDRMask(56, 128)))
+}
+
+// account charges one response to the peer's prefix and returns the
+// verdict: send, drop, or slip (send a minimal truncated answer).
+func (l *rrlLimiter) account(peer net.Addr, now time.Time) rrlAction {
+	key := prefixKey(peer)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		l.maybeSweep(now)
+		b = &rrlBucket{tokens: l.cfg.Burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.cfg.ResponsesPerSecond
+		if b.tokens > l.cfg.Burst {
+			b.tokens = l.cfg.Burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return rrlSend
+	}
+	if l.cfg.Slip > 0 {
+		b.slipSeq++
+		if b.slipSeq%l.cfg.Slip == 0 {
+			return rrlSlip
+		}
+	}
+	return rrlDrop
+}
+
+// maybeSweep evicts idle buckets when the table is over capacity. Called
+// with the lock held, amortized over insertions.
+func (l *rrlLimiter) maybeSweep(now time.Time) {
+	l.sinceGC++
+	if len(l.buckets) < rrlBucketCap || l.sinceGC < rrlSweepEvery {
+		return
+	}
+	l.sinceGC = 0
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > rrlIdleEvict {
+			delete(l.buckets, k)
+		}
+	}
+}

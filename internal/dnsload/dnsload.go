@@ -62,17 +62,28 @@ type Config struct {
 	// EDNSPayload, when nonzero, attaches an EDNS OPT record advertising
 	// this UDP payload size.
 	EDNSPayload uint16
+	// Wrap, when set, wraps each sender's socket before traffic flows —
+	// the client-side fault-injection hook (e.g. a closure over
+	// faultinject.WrapDatagram for UDP or WrapStream for TCP).
+	Wrap func(net.Conn) net.Conn
 }
 
 // Result aggregates a finished run.
 type Result struct {
-	// Sent/Received count queries issued and answers matched. Timeouts
-	// are queries with no answer inside Timeout (UDP loss under
-	// overload); Errors are transport-level failures.
-	Sent     int64
-	Received int64
-	Timeouts int64
-	Errors   int64
+	// Sent/Received count queries issued and answers matched. Failed
+	// queries are classified so degradation experiments can tell drops
+	// from decode garbage from dial failures: Timeouts are queries with
+	// no answer inside Timeout (UDP loss under overload); DialErrors
+	// are connection-setup failures; DecodeErrors are queries whose
+	// only answer(s) inside the deadline failed to decode (corruption);
+	// Errors are the remaining transport-level failures. RCODE-level
+	// failures (SERVFAIL etc.) count as Received and show in RCodes.
+	Sent         int64
+	Received     int64
+	Timeouts     int64
+	DialErrors   int64
+	DecodeErrors int64
+	Errors       int64
 	// RCodes counts answers by response code; Truncated counts answers
 	// carrying the TC bit.
 	RCodes    map[dnswire.RCode]int64
@@ -83,6 +94,10 @@ type Result struct {
 	// latencies holds one sample per received answer, sorted ascending.
 	latencies []float64 // seconds
 }
+
+// ServFails returns the count of answers carrying a SERVFAIL rcode — the
+// paper's second failure class next to timeouts (§6.3.1).
+func (r *Result) ServFails() int64 { return r.RCodes[dnswire.RCodeServFail] }
 
 // QPS returns the achieved answer rate (answers per wall-clock second).
 func (r *Result) QPS() float64 {
@@ -127,6 +142,10 @@ func (r *Result) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sent %d  answered %d  loss %.2f%%  rate %.0f q/s  elapsed %s\n",
 		r.Sent, r.Received, 100*r.LossRate(), r.QPS(), r.Elapsed.Round(time.Millisecond))
+	if fails := r.Timeouts + r.DialErrors + r.DecodeErrors + r.Errors; fails > 0 {
+		fmt.Fprintf(&b, "failures: timeout=%d dial=%d decode=%d other=%d\n",
+			r.Timeouts, r.DialErrors, r.DecodeErrors, r.Errors)
+	}
 	if r.Received > 0 {
 		fmt.Fprintf(&b, "latency p50 %s  p90 %s  p99 %s  max %s\n",
 			r.LatencyQuantile(0.50).Round(time.Microsecond),
@@ -157,10 +176,22 @@ func (r *Result) Summary() string {
 // senderResult is one sender's private tally, merged after the run.
 type senderResult struct {
 	sent, received, timeouts, errors int64
+	dialErrs, decodeErrs             int64
 	truncated                        int64
 	rcodes                           map[dnswire.RCode]int64
 	latencies                        []float64
 }
+
+// failKind classifies one failed query.
+type failKind int
+
+const (
+	failNone failKind = iota
+	failDial
+	failTimeout
+	failDecode
+	failOther
+)
 
 // Run executes the configured load against cfg.Addr and returns the
 // aggregate result. It honors ctx cancellation.
@@ -248,6 +279,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		out.Sent += r.sent
 		out.Received += r.received
 		out.Timeouts += r.timeouts
+		out.DialErrors += r.dialErrs
+		out.DecodeErrors += r.decodeErrs
 		out.Errors += r.errors
 		out.Truncated += r.truncated
 		for rc, n := range r.rcodes {
@@ -288,19 +321,27 @@ func (s *sender) run() {
 		s.pace()
 		name := s.cfg.Names[qi%len(s.cfg.Names)]
 		s.id++
-		if err := s.oneQuery(name); err != nil {
-			var nerr net.Error
-			if errors.As(err, &nerr) && nerr.Timeout() {
-				s.res.timeouts++
-			} else {
-				s.res.errors++
-				// a broken TCP connection is redialed on the next query
-				if s.proto == ProtoTCP && s.conn != nil {
-					s.conn.Close()
-					s.conn = nil
-				}
-			}
+		switch s.oneQuery(name) {
+		case failNone:
+		case failDial:
+			s.res.dialErrs++
+		case failTimeout:
+			s.res.timeouts++
+		case failDecode:
+			s.res.decodeErrs++
+			s.redialTCP()
+		default:
+			s.res.errors++
+			s.redialTCP()
 		}
+	}
+}
+
+// redialTCP drops a broken TCP connection so the next query redials.
+func (s *sender) redialTCP() {
+	if s.proto == ProtoTCP && s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
 	}
 }
 
@@ -323,13 +364,17 @@ func (s *sender) pace() {
 	s.nextAt = s.nextAt.Add(s.interval)
 }
 
-// oneQuery issues a single query and records its outcome.
-func (s *sender) oneQuery(name string) error {
+// oneQuery issues a single query and records its outcome, classifying
+// any failure.
+func (s *sender) oneQuery(name string) failKind {
 	if s.conn == nil {
 		var d net.Dialer
 		conn, err := d.DialContext(s.ctx, string(s.proto), s.cfg.Addr)
 		if err != nil {
-			return err
+			return failDial
+		}
+		if s.cfg.Wrap != nil {
+			conn = s.cfg.Wrap(conn)
 		}
 		s.conn = conn
 	}
@@ -339,10 +384,10 @@ func (s *sender) oneQuery(name string) error {
 	}
 	wire, err := dnswire.Encode(q)
 	if err != nil {
-		return err
+		return failOther
 	}
 	if err := s.conn.SetDeadline(time.Now().Add(s.timeout)); err != nil {
-		return err
+		return failOther
 	}
 	start := time.Now()
 	if s.proto == ProtoTCP {
@@ -352,30 +397,37 @@ func (s *sender) oneQuery(name string) error {
 		wire = framed
 	}
 	if _, err := s.conn.Write(wire); err != nil {
-		return err
+		return classifyErr(err, false)
 	}
 	s.res.sent++
+	sawGarbage := false
 	for {
 		var payload []byte
 		if s.proto == ProtoTCP {
 			var lenb [2]byte
 			if _, err := io.ReadFull(s.conn, lenb[:]); err != nil {
-				return err
+				return classifyErr(err, sawGarbage)
 			}
 			n := int(binary.BigEndian.Uint16(lenb[:]))
 			if _, err := io.ReadFull(s.conn, s.buf[:n]); err != nil {
-				return err
+				return classifyErr(err, sawGarbage)
 			}
 			payload = s.buf[:n]
 		} else {
 			n, err := s.conn.Read(s.buf)
 			if err != nil {
-				return err
+				return classifyErr(err, sawGarbage)
 			}
 			payload = s.buf[:n]
 		}
 		m, err := dnswire.Decode(payload)
-		if err != nil || !m.Header.Response || m.Header.ID != s.id {
+		if err != nil {
+			// garbage on the wire (corruption); a valid answer may
+			// still arrive before the deadline
+			sawGarbage = true
+			continue
+		}
+		if !m.Header.Response || m.Header.ID != s.id {
 			continue // stale answer to an earlier timed-out query
 		}
 		s.res.received++
@@ -384,6 +436,21 @@ func (s *sender) oneQuery(name string) error {
 		if m.Header.Truncated {
 			s.res.truncated++
 		}
-		return nil
+		return failNone
 	}
+}
+
+// classifyErr maps a transport error to a failure class. A deadline that
+// expired after only undecodable datagrams arrived classifies as a
+// decode failure — the response was delivered but corrupted — rather
+// than as loss.
+func classifyErr(err error, sawGarbage bool) failKind {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		if sawGarbage {
+			return failDecode
+		}
+		return failTimeout
+	}
+	return failOther
 }

@@ -2,12 +2,14 @@ package dnsload
 
 import (
 	"context"
+	"net"
 	"strings"
 	"testing"
 	"time"
 
 	"dnsddos/internal/authserver"
 	"dnsddos/internal/dnswire"
+	"dnsddos/internal/faultinject"
 	"dnsddos/internal/netx"
 )
 
@@ -140,5 +142,131 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), Config{Addr: "127.0.0.1:1", Names: []string{"x"}, Proto: "smoke"}); err == nil {
 		t.Error("unknown proto must error")
+	}
+}
+
+// garbleConn is a test wrapper that mangles every inbound datagram so it
+// can never decode, while letting queries out intact.
+type garbleConn struct{ net.Conn }
+
+func (g garbleConn) Read(p []byte) (int, error) {
+	n, err := g.Conn.Read(p)
+	if n > 2 {
+		n = 2 // too short for a DNS header: guaranteed decode failure
+	}
+	return n, err
+}
+
+// TestFailureClassificationTimeout: a client socket that drops every
+// datagram turns the whole run into classified timeouts, not generic
+// errors.
+func TestFailureClassificationTimeout(t *testing.T) {
+	addr := startServer(t)
+	inj := faultinject.New(7)
+	inj.SetProfile(faultinject.Profile{Drop: 1})
+	res, err := Run(context.Background(), Config{
+		Addr:        addr,
+		Names:       []string{"load.example"},
+		Concurrency: 2,
+		Queries:     10,
+		Timeout:     150 * time.Millisecond,
+		Wrap:        func(c net.Conn) net.Conn { return faultinject.WrapDatagram(c, inj) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received != 0 {
+		t.Fatalf("total loss run received %d answers", res.Received)
+	}
+	if res.Timeouts != res.Sent || res.Timeouts == 0 {
+		t.Errorf("timeouts=%d sent=%d; every lost query must classify as timeout", res.Timeouts, res.Sent)
+	}
+	if res.DialErrors != 0 || res.DecodeErrors != 0 || res.Errors != 0 {
+		t.Errorf("misclassified: dial=%d decode=%d other=%d", res.DialErrors, res.DecodeErrors, res.Errors)
+	}
+	sum := res.Summary()
+	if !strings.Contains(sum, "failures: timeout=") {
+		t.Errorf("summary missing the failure breakdown:\n%s", sum)
+	}
+}
+
+// TestFailureClassificationDecode: answers that arrive but cannot decode
+// classify as decode failures (corruption), distinct from loss.
+func TestFailureClassificationDecode(t *testing.T) {
+	addr := startServer(t)
+	res, err := Run(context.Background(), Config{
+		Addr:        addr,
+		Names:       []string{"load.example"},
+		Concurrency: 2,
+		Queries:     6,
+		Timeout:     150 * time.Millisecond,
+		Wrap:        func(c net.Conn) net.Conn { return garbleConn{c} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecodeErrors != res.Sent || res.DecodeErrors == 0 {
+		t.Errorf("decode=%d sent=%d; garbled answers must classify as decode failures", res.DecodeErrors, res.Sent)
+	}
+	if res.Timeouts != 0 {
+		t.Errorf("garbled answers misclassified as %d timeouts", res.Timeouts)
+	}
+	if !strings.Contains(res.Summary(), "decode=") {
+		t.Errorf("summary missing decode breakdown:\n%s", res.Summary())
+	}
+}
+
+// TestFailureClassificationDial: an unreachable TCP target counts as
+// dial failures without inflating Sent.
+func TestFailureClassificationDial(t *testing.T) {
+	// a listener we immediately close: connection refused, deterministically
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	res, err := Run(context.Background(), Config{
+		Addr:        addr,
+		Names:       []string{"load.example"},
+		Proto:       ProtoTCP,
+		Concurrency: 1,
+		Queries:     5,
+		Timeout:     200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DialErrors != 5 {
+		t.Errorf("dial errors = %d, want 5", res.DialErrors)
+	}
+	if res.Sent != 0 {
+		t.Errorf("refused dials must not count as sent queries, got %d", res.Sent)
+	}
+}
+
+// TestPartialLossClassification: seeded 50%% loss yields a mix of
+// answers and timeouts whose counts add up.
+func TestPartialLossClassification(t *testing.T) {
+	addr := startServer(t)
+	inj := faultinject.New(99)
+	inj.SetProfile(faultinject.Profile{Drop: 0.5})
+	res, err := Run(context.Background(), Config{
+		Addr:        addr,
+		Names:       []string{"load.example"},
+		Concurrency: 2,
+		Queries:     40,
+		Timeout:     150 * time.Millisecond,
+		Wrap:        func(c net.Conn) net.Conn { return faultinject.WrapDatagram(c, inj) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received == 0 || res.Timeouts == 0 {
+		t.Fatalf("50%% loss should mix answers (%d) and timeouts (%d)", res.Received, res.Timeouts)
+	}
+	if res.Received+res.Timeouts != res.Sent {
+		t.Errorf("classification leaks queries: recv %d + timeout %d != sent %d",
+			res.Received, res.Timeouts, res.Sent)
 	}
 }

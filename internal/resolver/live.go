@@ -1,0 +1,253 @@
+// live.go gives the real-socket path the same resolution semantics the
+// simulated agnostic resolver has (resolver.go): random nameserver
+// rotation, per-try timeout, retry with jittered exponential backoff,
+// SERVFAIL vs timeout classification, and TC→TCP fallback. A LiveResolver
+// outcome carries an nsset.QueryStatus, so live runs against
+// internal/authserver feed the same nsset aggregation (Eq. 1) as
+// simulated sweeps — the point of the fault-injection data plane.
+package resolver
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"dnsddos/internal/dnswire"
+	"dnsddos/internal/nsset"
+)
+
+// LiveConfig tunes the live resolver. The zero value resolves with the
+// DefaultLiveConfig semantics.
+type LiveConfig struct {
+	// PerTryTimeout bounds one query attempt; zero means 800ms
+	// (mirroring DefaultConfig for the simulated resolver).
+	PerTryTimeout time.Duration
+	// MaxTries bounds total attempts. It may exceed the nameserver list
+	// length: attempts rotate through the shuffled list, wrapping
+	// around, the way unbound re-probes servers it has already tried.
+	// Zero means 3.
+	MaxTries int
+	// Backoff is the base delay before the second try; later tries
+	// double it (jittered ±50%) up to MaxBackoff. Zero disables
+	// backoff — retries go out immediately, as unbound does within its
+	// first burst.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth; zero means 2s.
+	MaxBackoff time.Duration
+	// EDNSPayload is advertised on UDP queries when nonzero.
+	EDNSPayload uint16
+	// TCPFallback retries truncated UDP answers over TCP (RFC 7766).
+	TCPFallback bool
+	// Wrap, when set, wraps every UDP client socket — the client-side
+	// fault-injection hook.
+	Wrap func(net.Conn) net.Conn
+	// WrapTCP wraps fallback TCP connections.
+	WrapTCP func(net.Conn) net.Conn
+}
+
+// DefaultLiveConfig mirrors a conservative unbound setup, matching the
+// simulated DefaultConfig plus a short backoff between retries.
+func DefaultLiveConfig() LiveConfig {
+	return LiveConfig{
+		PerTryTimeout: 800 * time.Millisecond,
+		MaxTries:      3,
+		Backoff:       50 * time.Millisecond,
+		MaxBackoff:    2 * time.Second,
+		TCPFallback:   true,
+	}
+}
+
+// LiveOutcome is the result of one live resolution, shaped like the
+// simulated Outcome so both feed nsset.Aggregator.Add identically.
+type LiveOutcome struct {
+	// Status classifies the resolution with the OpenINTEL statuses the
+	// paper's analysis consumes (OK / TIMEOUT / SERVFAIL).
+	Status nsset.QueryStatus
+	// RTT is the total resolution time including time burned by failed
+	// attempts and backoff, as the measuring resolver experiences it
+	// (§4.1's RTT). Zero unless Status is StatusOK.
+	RTT time.Duration
+	// Tries is the number of attempts made.
+	Tries int
+	// Server is the address that produced the final answer (or the last
+	// one tried on failure).
+	Server string
+	// UsedTCP reports whether the final answer arrived over the TCP
+	// fallback path.
+	UsedTCP bool
+	// Msg is the decoded answer; nil on failure.
+	Msg *dnswire.Message
+}
+
+// LiveResolver resolves over real sockets with retry, rotation, and
+// backoff. It is safe for concurrent use.
+type LiveResolver struct {
+	cfg LiveConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewLiveResolver builds a live resolver. rng drives shuffle order and
+// backoff jitter; nil seeds one from crypto/rand (tests pass a seeded
+// generator for determinism, per the repo convention).
+func NewLiveResolver(cfg LiveConfig, rng *rand.Rand) *LiveResolver {
+	if cfg.PerTryTimeout <= 0 {
+		cfg.PerTryTimeout = 800 * time.Millisecond
+	}
+	if cfg.MaxTries < 1 {
+		cfg.MaxTries = 3
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if rng == nil {
+		var seed [16]byte
+		crand.Read(seed[:])
+		rng = rand.New(rand.NewPCG(
+			binary.LittleEndian.Uint64(seed[:8]),
+			binary.LittleEndian.Uint64(seed[8:])))
+	}
+	return &LiveResolver{cfg: cfg, rng: rng}
+}
+
+// tryStatus classifies one attempt.
+type tryStatus int
+
+const (
+	tryOK tryStatus = iota
+	tryTimeout
+	tryServFail
+	tryOther // dial/send/decode errors — server unreachable or garbage
+)
+
+// Resolve performs an agnostic live resolution of (name, qtype) against
+// the nameserver address list: random rotation order, per-try timeout,
+// jittered exponential backoff between attempts, cumulative timing. The
+// final status mirrors the simulated resolver: OK on any success, else
+// SERVFAIL if any server answered with a failure rcode, else TIMEOUT.
+func (r *LiveResolver) Resolve(ctx context.Context, addrs []string, name string, qtype dnswire.Type) LiveOutcome {
+	if len(addrs) == 0 {
+		return LiveOutcome{Status: nsset.StatusServFail}
+	}
+	order := make([]string, len(addrs))
+	copy(order, addrs)
+	r.mu.Lock()
+	r.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	r.mu.Unlock()
+
+	client := &UDPClient{
+		Timeout:     r.cfg.PerTryTimeout,
+		EDNSPayload: r.cfg.EDNSPayload,
+		Wrap:        r.cfg.Wrap,
+	}
+	start := time.Now()
+	sawServFail := false
+	var last string
+	tries := 0
+	for i := 0; i < r.cfg.MaxTries; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if i > 0 {
+			if !r.backoff(ctx, i) {
+				break
+			}
+		}
+		addr := order[i%len(order)]
+		last = addr
+		tries++
+		msg, usedTCP, st := r.tryOnce(ctx, client, addr, name, qtype)
+		switch st {
+		case tryOK:
+			return LiveOutcome{
+				Status:  nsset.StatusOK,
+				RTT:     time.Since(start),
+				Tries:   tries,
+				Server:  addr,
+				UsedTCP: usedTCP,
+				Msg:     msg,
+			}
+		case tryServFail:
+			sawServFail = true
+		}
+	}
+	st := nsset.StatusTimeout
+	if sawServFail {
+		st = nsset.StatusServFail
+	}
+	return LiveOutcome{Status: st, Tries: tries, Server: last}
+}
+
+// tryOnce runs one attempt: UDP query, rcode classification, TC→TCP
+// fallback when configured.
+func (r *LiveResolver) tryOnce(ctx context.Context, client *UDPClient, addr, name string, qtype dnswire.Type) (*dnswire.Message, bool, tryStatus) {
+	msg, _, err := client.Query(ctx, addr, name, qtype)
+	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			return nil, false, tryTimeout
+		}
+		return nil, false, tryOther
+	}
+	if msg.Header.Truncated && r.cfg.TCPFallback {
+		tc := &TCPClient{Timeout: r.cfg.PerTryTimeout, Wrap: r.cfg.WrapTCP}
+		full, terr := tc.Query(ctx, addr, name, qtype)
+		if terr != nil {
+			var nerr net.Error
+			if errors.As(terr, &nerr) && nerr.Timeout() {
+				return nil, false, tryTimeout
+			}
+			return nil, false, tryOther
+		}
+		msg = full
+		if st := classifyRCode(msg.Header.RCode); st != tryOK {
+			return nil, true, st
+		}
+		return msg, true, tryOK
+	}
+	if st := classifyRCode(msg.Header.RCode); st != tryOK {
+		return nil, false, st
+	}
+	return msg, false, tryOK
+}
+
+// classifyRCode maps a response code to an attempt status: SERVFAIL and
+// REFUSED mean the server is up but failing (retry elsewhere); NOERROR
+// and NXDOMAIN are authoritative answers (OK).
+func classifyRCode(rc dnswire.RCode) tryStatus {
+	switch rc {
+	case dnswire.RCodeNoError, dnswire.RCodeNXDomain:
+		return tryOK
+	default:
+		return tryServFail
+	}
+}
+
+// backoff sleeps the jittered exponential delay before try number
+// attempt (1-based beyond the first). It returns false if the context
+// was cancelled while waiting.
+func (r *LiveResolver) backoff(ctx context.Context, attempt int) bool {
+	if r.cfg.Backoff <= 0 {
+		return ctx.Err() == nil
+	}
+	d := r.cfg.Backoff << (attempt - 1)
+	if d > r.cfg.MaxBackoff || d <= 0 {
+		d = r.cfg.MaxBackoff
+	}
+	// jitter to d/2 + uniform[0, d/2): desynchronizes retry storms
+	r.mu.Lock()
+	d = d/2 + time.Duration(r.rng.Int64N(int64(d/2)+1))
+	r.mu.Unlock()
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -21,6 +21,9 @@ type UDPClient struct {
 	// this UDP payload size (RFC 6891), letting servers skip truncation
 	// for responses up to that size.
 	EDNSPayload uint16
+	// Wrap, when set, wraps the dialed socket before any traffic flows —
+	// the fault-injection hook (e.g. faultinject.WrapDatagram).
+	Wrap func(net.Conn) net.Conn
 }
 
 // Query sends a question to the server at addr ("host:port") and returns
@@ -38,6 +41,9 @@ func (c *UDPClient) Query(ctx context.Context, addr, name string, qtype dnswire.
 		return nil, 0, fmt.Errorf("resolver: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+	if c.Wrap != nil {
+		conn = c.Wrap(conn)
+	}
 
 	var idb [2]byte
 	if _, err := rand.Read(idb[:]); err != nil {
@@ -63,7 +69,15 @@ func (c *UDPClient) Query(ctx context.Context, addr, name string, qtype dnswire.
 	if _, err := conn.Write(wire); err != nil {
 		return nil, 0, fmt.Errorf("resolver: send: %w", err)
 	}
-	buf := make([]byte, 4096)
+	// The read buffer must cover what we invited the server to send:
+	// a buffer smaller than the advertised EDNS payload makes the
+	// kernel silently truncate big responses, which then fail to
+	// decode (see udp_fallback_test.go).
+	bufSize := 4096
+	if int(c.EDNSPayload) > bufSize {
+		bufSize = int(c.EDNSPayload)
+	}
+	buf := make([]byte, bufSize)
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {

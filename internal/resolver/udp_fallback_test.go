@@ -1,0 +1,152 @@
+package resolver_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"dnsddos/internal/authserver"
+	"dnsddos/internal/dnswire"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/resolver"
+)
+
+// startBigZone serves a domain whose NS RRset encodes past the classic
+// 512-byte UDP limit (nsCount servers), forcing TC without EDNS.
+func startBigZone(t *testing.T, nsCount int) string {
+	t.Helper()
+	zone := authserver.NewZone()
+	for i := 0; i < nsCount; i++ {
+		zone.AddNS("big.example", fmt.Sprintf("ns%03d.big.example", i))
+	}
+	srv := authserver.NewServer(zone, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+// TestQueryWithTCPFallback covers the truncated-UDP → TCP retry path:
+// a 40-NS answer cannot fit 512 bytes, the UDP reply carries TC, and the
+// fallback retrieves the full RRset over TCP.
+func TestQueryWithTCPFallback(t *testing.T) {
+	addr := startBigZone(t, 40)
+	client := &resolver.UDPClient{Timeout: 2 * time.Second}
+	ctx := context.Background()
+
+	// without fallback: the raw UDP answer is truncated and empty
+	m, _, err := client.Query(ctx, addr, "big.example", dnswire.TypeNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Header.Truncated || len(m.Answers) != 0 {
+		t.Fatalf("expected a truncated empty UDP answer, got TC=%v answers=%d",
+			m.Header.Truncated, len(m.Answers))
+	}
+
+	// with fallback: the full RRset arrives over TCP
+	tcp := &resolver.TCPClient{Timeout: 2 * time.Second}
+	full, rtt, err := client.QueryWithTCPFallback(ctx, addr, "big.example", dnswire.TypeNS,
+		tcp.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Header.Truncated {
+		t.Error("TCP answer must not be truncated")
+	}
+	if len(full.Answers) != 40 {
+		t.Errorf("TCP fallback returned %d answers, want 40", len(full.Answers))
+	}
+	if rtt <= 0 {
+		t.Error("fallback RTT must cover both legs")
+	}
+}
+
+// TestQueryWithTCPFallbackErrors: a failing TCP leg surfaces as an
+// error, not a silent truncated answer.
+func TestQueryWithTCPFallbackErrors(t *testing.T) {
+	addr := startBigZone(t, 40)
+	client := &resolver.UDPClient{Timeout: 2 * time.Second}
+	boom := errors.New("tcp path down")
+	_, _, err := client.QueryWithTCPFallback(context.Background(), addr, "big.example", dnswire.TypeNS,
+		func(context.Context, string, string, dnswire.Type) (*dnswire.Message, error) {
+			return nil, boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("fallback error lost: %v", err)
+	}
+}
+
+// TestQueryWithTCPFallbackSkipsTCPWhenWhole: small answers never touch
+// the TCP path.
+func TestQueryWithTCPFallbackSkipsTCPWhenWhole(t *testing.T) {
+	addr := startBigZone(t, 2)
+	client := &resolver.UDPClient{Timeout: 2 * time.Second}
+	called := false
+	m, _, err := client.QueryWithTCPFallback(context.Background(), addr, "big.example", dnswire.TypeNS,
+		func(context.Context, string, string, dnswire.Type) (*dnswire.Message, error) {
+			called = true
+			return nil, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("whole UDP answers must not trigger the TCP fallback")
+	}
+	if len(m.Answers) != 2 {
+		t.Errorf("got %d answers, want 2", len(m.Answers))
+	}
+}
+
+// TestLiveResolverTCPFallback: LiveResolver follows TC transparently and
+// reports the transport it used.
+func TestLiveResolverTCPFallback(t *testing.T) {
+	addr := startBigZone(t, 40)
+	lr := resolver.NewLiveResolver(resolver.LiveConfig{
+		PerTryTimeout: time.Second,
+		MaxTries:      2,
+		TCPFallback:   true,
+	}, rand.New(rand.NewPCG(1, 0)))
+	out := lr.Resolve(context.Background(), []string{addr}, "big.example", dnswire.TypeNS)
+	if out.Status != nsset.StatusOK {
+		t.Fatalf("status %v, want OK", out.Status)
+	}
+	if !out.UsedTCP {
+		t.Error("a truncated UDP answer must be completed over TCP")
+	}
+	if out.Msg == nil || len(out.Msg.Answers) != 40 {
+		t.Errorf("fallback answer incomplete: %+v", out.Msg)
+	}
+}
+
+// TestUDPClientEDNSReadBuffer is the satellite regression: with a large
+// advertised EDNS payload the read buffer must grow to match, or the
+// kernel silently truncates the datagram and the decode fails. 280 NS
+// records encode past 4096 bytes but under the advertised 16384.
+func TestUDPClientEDNSReadBuffer(t *testing.T) {
+	addr := startBigZone(t, 280)
+	client := &resolver.UDPClient{Timeout: 2 * time.Second, EDNSPayload: 16384}
+	m, _, err := client.Query(context.Background(), addr, "big.example", dnswire.TypeNS)
+	if err != nil {
+		t.Fatalf("big EDNS response failed to decode — read buffer too small? %v", err)
+	}
+	if m.Header.Truncated {
+		t.Fatal("server truncated despite a sufficient EDNS advertisement")
+	}
+	if len(m.Answers) != 280 {
+		t.Errorf("got %d answers, want 280", len(m.Answers))
+	}
+	wire, err := dnswire.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) <= 4096 {
+		t.Fatalf("test answer only %d bytes — does not exercise the >4096 path", len(wire))
+	}
+}
