@@ -21,8 +21,9 @@ race-gate:
 
 # Chaos gate: the fault-injection and graceful-degradation regression
 # suite under the race detector — the netem-style wrappers, the retrying
-# live resolver against lossy/dead servers, RRL/overload shedding, and
-# dnsload's failure classification.
+# live resolver against lossy/dead servers, RRL/overload shedding,
+# dnsload's failure classification, and the supervised study pipeline
+# (injected day-shard panics, watchdog stalls, mid-run cancel + resume).
 chaos:
 	$(GO) test -race ./internal/faultinject/ \
 		-run . -count 1
@@ -32,6 +33,9 @@ chaos:
 		-run 'TestLive|TestQueryWith|TestUDPClientEDNS' -count 1 -v
 	$(GO) test -race ./internal/dnsload/ \
 		-run 'TestFailure|TestPartialLoss' -count 1 -v
+	$(GO) test -race ./internal/study/ \
+		-run 'TestPanicQuarantine|TestPanicRetryRecovers|TestWatchdogQuarantinesStuckShard|TestCancelAndResumeByteIdentical|TestResumeRefusesCorruptCheckpoints' \
+		-count 1 -v
 
 # Serving-engine throughput (workers=1 is the serialized baseline).
 bench-throughput:

@@ -2,17 +2,28 @@
 // telescope, inference, measurement sweeps, join — and writes the joined
 // attack events as CSV, one row per (attack, NSSet) event.
 //
+// The run is supervised: SIGINT/SIGTERM cancel it cleanly, -checkpoint
+// persists every completed day-sweep to a durable journal, and
+// -checkpoint with -resume restarts a killed run from the last completed
+// day instead of day 0. Day-sweeps that panic are retried once and then
+// quarantined (reported on stderr) rather than aborting the run.
+//
 // Usage:
 //
 //	joinpipe [-domains N] [-attacks N] [-out FILE] [-quick] [-config FILE]
+//	         [-checkpoint DIR] [-resume] [-shard-timeout D]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dnsddos/internal/report"
@@ -22,12 +33,36 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("joinpipe: ")
+	if err := run(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			// checkpoints (if enabled) are already durable; resume with
+			// -resume
+			log.Fatal("interrupted (completed day-sweeps are checkpointed; rerun with -resume)")
+		}
+		log.Fatal(err)
+	}
+}
+
+// run owns all cleanup: the signal context, flushing checkpoints (done
+// per-day inside the study), and removing a partially-written output
+// file on error so a crashed run never leaves a plausible-looking CSV.
+func run() (err error) {
 	quick := flag.Bool("quick", true, "use the scaled-down quick configuration")
 	domains := flag.Int("domains", 0, "override world size")
 	attacks := flag.Int("attacks", 0, "override attack count")
 	out := flag.String("out", "", "output CSV file (default stdout)")
 	configPath := flag.String("config", "", "JSON study configuration (overrides -quick)")
+	ckptDir := flag.String("checkpoint", "", "checkpoint directory: persist each completed day-sweep")
+	resume := flag.Bool("resume", false, "resume from the checkpoints in -checkpoint instead of day 0")
+	shardTimeout := flag.Duration("shard-timeout", 0, "watchdog deadline per day-sweep (0 = none); a stuck day is quarantined, not waited for")
 	flag.Parse()
+
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint DIR")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := study.DefaultConfig()
 	if *quick {
@@ -36,12 +71,12 @@ func main() {
 	if *configPath != "" {
 		f, err := os.Open(*configPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cfg, err = study.ReadConfig(f, cfg)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if *domains > 0 {
@@ -52,20 +87,51 @@ func main() {
 	}
 
 	start := time.Now()
-	s := study.Run(cfg)
-	fmt.Fprintf(os.Stderr, "joinpipe: %d attacks inferred, %d events joined (%.1fs)\n",
+	s, err := study.RunContext(ctx, cfg, study.Options{
+		CheckpointDir: *ckptDir,
+		Resume:        *resume,
+		ShardTimeout:  *shardTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "joinpipe: %d attacks inferred, %d events joined (%.1fs",
 		len(s.Attacks), len(s.Events), time.Since(start).Seconds())
+	if s.Report.ResumedDays > 0 {
+		fmt.Fprintf(os.Stderr, ", %d day-sweeps resumed from checkpoint", s.Report.ResumedDays)
+	}
+	fmt.Fprintf(os.Stderr, ")\n")
+	if len(s.Report.SkippedDays) > 0 {
+		rows := make([]report.SkippedDayRow, len(s.Report.SkippedDays))
+		for i, sd := range s.Report.SkippedDays {
+			rows[i] = report.SkippedDayRow{Day: sd.Day, Reason: sd.Reason, Attempts: sd.Attempts}
+		}
+		report.SkippedDays(os.Stderr, rows)
+	}
 
 	w := io.Writer(os.Stdout)
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
+		if f, err = os.Create(*out); err != nil {
+			return err
 		}
-		defer f.Close()
 		w = f
+		defer func() {
+			if f == nil {
+				return // closed cleanly below
+			}
+			f.Close()
+			os.Remove(f.Name())
+		}()
 	}
 	if err := report.EventsCSV(w, s.Events); err != nil {
-		log.Fatal(err)
+		return err
 	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		f = nil
+	}
+	return nil
 }

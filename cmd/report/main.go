@@ -1,18 +1,26 @@
 // Command report runs the full study and prints every table and figure of
 // the paper's evaluation — the one-shot reproduction report.
 //
+// The run is supervised like cmd/joinpipe: SIGINT/SIGTERM cancel it
+// cleanly, and -checkpoint/-resume restart a killed run from the last
+// completed day-sweep.
+//
 // Usage:
 //
 //	report [-quick] [-domains N] [-attacks N] [-outdir DIR] [-config FILE]
+//	       [-checkpoint DIR] [-resume]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"dnsddos/internal/core"
@@ -21,31 +29,35 @@ import (
 	"dnsddos/internal/study"
 )
 
-// sink returns where a section should be written: stdout, or a CSV file
-// inside -outdir.
-func sink(outdir, name string) (io.Writer, func()) {
-	if outdir == "" {
-		return os.Stdout, func() {}
-	}
-	f, err := os.Create(filepath.Join(outdir, name))
-	if err != nil {
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	if err := run(); err != nil {
 		log.Fatal(err)
 	}
-	return f, func() { f.Close() }
 }
 
-func main() {
+func run() error {
 	quick := flag.Bool("quick", false, "use the scaled-down configuration")
 	domains := flag.Int("domains", 0, "override world size")
 	attacks := flag.Int("attacks", 0, "override attack count")
 	outdir := flag.String("outdir", "", "also write each table/figure to CSV files in this directory")
 	configPath := flag.String("config", "", "JSON study configuration (overrides -quick)")
+	ckptDir := flag.String("checkpoint", "", "checkpoint directory: persist each completed day-sweep")
+	resume := flag.Bool("resume", false, "resume from the checkpoints in -checkpoint instead of day 0")
 	flag.Parse()
+
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint DIR")
+	}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := study.DefaultConfig()
 	if *quick {
@@ -54,12 +66,12 @@ func main() {
 	if *configPath != "" {
 		f, err := os.Open(*configPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cfg, err = study.ReadConfig(f, cfg)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if *domains > 0 {
@@ -70,9 +82,19 @@ func main() {
 	}
 
 	start := time.Now()
-	s := study.Run(cfg)
+	s, err := study.RunContext(ctx, cfg, study.Options{CheckpointDir: *ckptDir, Resume: *resume})
+	if err != nil {
+		return err
+	}
 	fmt.Printf("study: %d domains, %d inferred attacks, %d joined events (%.1fs)\n\n",
 		len(s.World.DB.Domains), len(s.Attacks), len(s.Events), time.Since(start).Seconds())
+	if len(s.Report.SkippedDays) > 0 {
+		rows := make([]report.SkippedDayRow, len(s.Report.SkippedDays))
+		for i, sd := range s.Report.SkippedDays {
+			rows[i] = report.SkippedDayRow{Day: sd.Day, Reason: sd.Reason, Attempts: sd.Attempts}
+		}
+		report.SkippedDays(os.Stderr, rows)
+	}
 
 	out := os.Stdout
 	report.Table1(out, core.SummarizeDataset(s.Attacks, s.World.Topo))
@@ -116,20 +138,33 @@ func main() {
 	report.Groups(out, "Figure 13: impact by /24 prefix diversity", core.ImpactByPrefixDiversity(s.Events))
 
 	if *outdir != "" {
-		exportCSVs(*outdir, s)
+		if err := exportCSVs(*outdir, s); err != nil {
+			return err
+		}
 		fmt.Printf("\nwrote per-figure CSVs to %s\n", *outdir)
 	}
+	return nil
 }
 
 // exportCSVs writes each figure's data series to its own file for external
 // plotting.
-func exportCSVs(dir string, s *study.Study) {
+func exportCSVs(dir string, s *study.Study) error {
 	cs := s.Schedule.CaseStudies
 	k := nsset.KeyOf(cs.TransIPNS[:])
+	var firstErr error
 	write := func(name string, f func(w io.Writer)) {
-		w, done := sink(dir, name)
-		f(w)
-		done()
+		if firstErr != nil {
+			return
+		}
+		out, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			firstErr = err
+			return
+		}
+		f(out)
+		if err := out.Close(); err != nil {
+			firstErr = err
+		}
 	}
 	write("table1.txt", func(w io.Writer) { report.Table1(w, core.SummarizeDataset(s.Attacks, s.World.Topo)) })
 	write("table3.txt", func(w io.Writer) { report.Table3(w, core.MonthlySummary(s.Classified)) })
@@ -158,4 +193,5 @@ func exportCSVs(dir string, s *study.Study) {
 	write("figure11.csv", func(w io.Writer) { report.Groups(w, "Figure 11", core.ImpactByAnycast(s.Events)) })
 	write("figure12.csv", func(w io.Writer) { report.Groups(w, "Figure 12", core.ImpactByASDiversity(s.Events)) })
 	write("figure13.csv", func(w io.Writer) { report.Groups(w, "Figure 13", core.ImpactByPrefixDiversity(s.Events)) })
+	return firstErr
 }

@@ -1,0 +1,212 @@
+// Package checkpoint persists completed day-shard measurement snapshots
+// of a study run so a killed run can resume from the last durable day
+// instead of day 0 (DESIGN §3.2). A checkpoint directory holds
+//
+//   - header.json — the run identity: format version, a hash of the full
+//     study configuration, and the measurement seed. Resume refuses a
+//     directory whose header does not match the current run, so stale
+//     checkpoints can never be silently joined into a different study.
+//   - day_NNNNNN.ckpt — one file per completed day: an 8-byte magic, the
+//     format version, a length-prefixed gob payload (nsset.Snapshot) and
+//     a CRC-32 trailer. Truncation, bit rot and version skew are all
+//     detected and reported as errors, never decoded as garbage.
+//
+// Every file is written to a temporary name in the same directory,
+// synced, and atomically renamed into place, so a crash mid-write leaves
+// either the previous state or a complete new file — never a torn one.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/nsset"
+)
+
+// Version is the on-disk format version; bump on incompatible change.
+const Version = 1
+
+const headerName = "header.json"
+
+var magic = []byte("DNSCKPT1")
+
+// Header identifies the run a checkpoint directory belongs to.
+type Header struct {
+	Version    int    `json:"version"`
+	ConfigHash string `json:"config_hash"`
+	Seed       uint64 `json:"seed"`
+}
+
+// Dir is an open checkpoint directory.
+type Dir struct {
+	path string
+	hdr  Header
+}
+
+// Create initializes path for a fresh run: leftovers from previous runs
+// (day files and header) are removed and a new header is written
+// atomically. The directory is created if needed.
+func Create(path string, hdr Header) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", path, err)
+	}
+	old, err := filepath.Glob(filepath.Join(path, "day_*.ckpt"))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: scanning %s: %w", path, err)
+	}
+	old = append(old, filepath.Join(path, headerName))
+	for _, f := range old {
+		if err := os.Remove(f); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("checkpoint: clearing %s: %w", f, err)
+		}
+	}
+	hdr.Version = Version
+	b, err := json.MarshalIndent(hdr, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding header: %w", err)
+	}
+	if err := atomicWrite(path, headerName, b); err != nil {
+		return nil, err
+	}
+	return &Dir{path: path, hdr: hdr}, nil
+}
+
+// Resume opens an existing checkpoint directory for the run identified
+// by hdr (whose Version field is ignored; the library version applies).
+// It refuses — with an error, not a fresh start — when the directory has
+// no header or the header names a different configuration, version or
+// seed: resuming against a mismatched configuration would join two
+// different worlds' measurements.
+func Resume(path string, hdr Header) (*Dir, error) {
+	b, err := os.ReadFile(filepath.Join(path, headerName))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: no resumable run in %s: %w", path, err)
+	}
+	var got Header
+	if err := json.Unmarshal(b, &got); err != nil {
+		return nil, fmt.Errorf("checkpoint: corrupt header in %s: %w", path, err)
+	}
+	if got.Version != Version {
+		return nil, fmt.Errorf("checkpoint: %s has format version %d, this build writes %d", path, got.Version, Version)
+	}
+	if got.ConfigHash != hdr.ConfigHash || got.Seed != hdr.Seed {
+		return nil, fmt.Errorf("checkpoint: refusing to resume %s: checkpointed run has config hash %s seed %d, current run has %s seed %d",
+			path, got.ConfigHash, got.Seed, hdr.ConfigHash, hdr.Seed)
+	}
+	hdr.Version = Version
+	return &Dir{path: path, hdr: hdr}, nil
+}
+
+// Path returns the directory path.
+func (d *Dir) Path() string { return d.path }
+
+func dayFile(day clock.Day) string { return fmt.Sprintf("day_%06d.ckpt", int32(day)) }
+
+// WriteDay durably records one completed day's snapshot.
+func (d *Dir) WriteDay(day clock.Day, snap nsset.Snapshot) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return fmt.Errorf("checkpoint: encoding day %v: %w", day, err)
+	}
+	var buf bytes.Buffer
+	buf.Write(magic)
+	var fixed [12]byte
+	binary.BigEndian.PutUint32(fixed[0:4], Version)
+	binary.BigEndian.PutUint64(fixed[4:12], uint64(payload.Len()))
+	buf.Write(fixed[:])
+	buf.Write(payload.Bytes())
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	buf.Write(crc[:])
+	return atomicWrite(d.path, dayFile(day), buf.Bytes())
+}
+
+// LoadDay reads one day's snapshot. The boolean is false when the day
+// has no checkpoint; a file that exists but fails any integrity check
+// (magic, version, length, CRC, decode) is an error.
+func (d *Dir) LoadDay(day clock.Day) (nsset.Snapshot, bool, error) {
+	name := filepath.Join(d.path, dayFile(day))
+	b, err := os.ReadFile(name)
+	if errors.Is(err, os.ErrNotExist) {
+		return nsset.Snapshot{}, false, nil
+	}
+	if err != nil {
+		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: reading %s: %w", name, err)
+	}
+	if len(b) < len(magic)+12+4 || !bytes.Equal(b[:len(magic)], magic) {
+		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: %s: truncated or not a checkpoint file", name)
+	}
+	rest := b[len(magic):]
+	ver := binary.BigEndian.Uint32(rest[0:4])
+	if ver != Version {
+		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: %s: format version %d, this build reads %d", name, ver, Version)
+	}
+	plen := binary.BigEndian.Uint64(rest[4:12])
+	rest = rest[12:]
+	if uint64(len(rest)) != plen+4 {
+		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: %s: truncated payload (%d of %d bytes)", name, len(rest), plen+4)
+	}
+	payload, trailer := rest[:plen], rest[plen:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(trailer); got != want {
+		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: %s: crc mismatch (%08x != %08x)", name, got, want)
+	}
+	var snap nsset.Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: %s: decoding payload: %w", name, err)
+	}
+	return snap, true, nil
+}
+
+// LoadDays reads every checkpointed day in [from, to]. Any corrupt day
+// file fails the whole load: a resume must either trust its checkpoints
+// or refuse them.
+func (d *Dir) LoadDays(from, to clock.Day) (map[clock.Day]nsset.Snapshot, error) {
+	out := make(map[clock.Day]nsset.Snapshot)
+	for day := from; day <= to; day++ {
+		snap, ok, err := d.LoadDay(day)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[day] = snap
+		}
+	}
+	return out, nil
+}
+
+// atomicWrite writes data to dir/name via a synced temporary file and an
+// atomic rename.
+func atomicWrite(dir, name string, data []byte) (err error) {
+	f, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp for %s: %w", name, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return fmt.Errorf("checkpoint: writing %s: %w", name, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing %s: %w", name, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing %s: %w", name, err)
+	}
+	if err = os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("checkpoint: publishing %s: %w", name, err)
+	}
+	return nil
+}

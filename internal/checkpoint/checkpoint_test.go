@@ -1,0 +1,224 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/nsset"
+)
+
+func testSnapshot(day clock.Day) nsset.Snapshot {
+	agg := nsset.NewAggregator()
+	k := nsset.KeyOf([]netx.Addr{netx.MustParseAddr("192.0.2.1"), netx.MustParseAddr("192.0.2.2")})
+	base := day.Start()
+	agg.Add(k, base.Add(time.Hour), nsset.StatusOK, 12*time.Millisecond)
+	agg.Add(k, base.Add(time.Hour+time.Minute), nsset.StatusTimeout, 0)
+	agg.Add(k, base.Add(5*time.Hour), nsset.StatusServFail, 0)
+	return agg.Snapshot()
+}
+
+func testHeader() Header {
+	return Header{ConfigHash: "abc123", Seed: 42}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	d, err := Create(t.TempDir(), testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := clock.Day(17)
+	want := testSnapshot(day)
+	if err := d.WriteDay(day, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.LoadDay(day)
+	if err != nil || !ok {
+		t.Fatalf("LoadDay = ok %v, err %v", ok, err)
+	}
+	if len(got.Windows) != len(want.Windows) || len(got.Baselines) != len(want.Baselines) {
+		t.Fatalf("shape mismatch: %d/%d windows, %d/%d baselines",
+			len(got.Windows), len(want.Windows), len(got.Baselines), len(want.Baselines))
+	}
+	for i := range want.Windows {
+		if got.Windows[i] != want.Windows[i] {
+			t.Errorf("window %d: %+v != %+v", i, got.Windows[i], want.Windows[i])
+		}
+	}
+	for i := range want.Baselines {
+		if got.Baselines[i] != want.Baselines[i] {
+			t.Errorf("baseline %d: %+v != %+v", i, got.Baselines[i], want.Baselines[i])
+		}
+	}
+}
+
+func TestLoadDayMissingIsNotAnError(t *testing.T) {
+	d, err := Create(t.TempDir(), testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d.LoadDay(5); ok || err != nil {
+		t.Fatalf("missing day: ok %v err %v, want false nil", ok, err)
+	}
+}
+
+func TestLoadDaysSkipsGaps(t *testing.T) {
+	d, err := Create(t.TempDir(), testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, day := range []clock.Day{3, 5, 6} {
+		if err := d.WriteDay(day, testSnapshot(day)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.LoadDays(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("loaded %d days, want 3", len(got))
+	}
+	for _, day := range []clock.Day{3, 5, 6} {
+		if _, ok := got[day]; !ok {
+			t.Errorf("day %v missing", day)
+		}
+	}
+}
+
+func corruptedDir(t *testing.T, corrupt func(path string)) *Dir {
+	t.Helper()
+	d, err := Create(t.TempDir(), testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := clock.Day(9)
+	if err := d.WriteDay(day, testSnapshot(day)); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(filepath.Join(d.Path(), dayFile(day)))
+	return d
+}
+
+func TestLoadDayRejectsTruncation(t *testing.T) {
+	d := corruptedDir(t, func(p string) {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, b[:len(b)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, _, err := d.LoadDay(9); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated file error = %v, want truncation report", err)
+	}
+	if _, err := d.LoadDays(0, 10); err == nil {
+		t.Fatal("LoadDays must fail on a corrupt member")
+	}
+}
+
+func TestLoadDayRejectsBitFlip(t *testing.T) {
+	d := corruptedDir(t, func(p string) {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(magic)+12+3] ^= 0x40 // flip one payload bit
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, _, err := d.LoadDay(9); err == nil || !strings.Contains(err.Error(), "crc") {
+		t.Fatalf("bit-flip error = %v, want crc mismatch", err)
+	}
+}
+
+func TestLoadDayRejectsWrongMagic(t *testing.T) {
+	d := corruptedDir(t, func(p string) {
+		if err := os.WriteFile(p, []byte("not a checkpoint at all........."), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, _, err := d.LoadDay(9); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
+
+func TestLoadDayRejectsVersionSkew(t *testing.T) {
+	d := corruptedDir(t, func(p string) {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(magic)+3] = 99 // version field
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, _, err := d.LoadDay(9); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-skew error = %v", err)
+	}
+}
+
+func TestResumeChecksHeader(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, testHeader()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(dir, testHeader()); err != nil {
+		t.Fatalf("matching resume failed: %v", err)
+	}
+	if _, err := Resume(dir, Header{ConfigHash: "other", Seed: 42}); err == nil {
+		t.Fatal("config-hash mismatch accepted")
+	}
+	if _, err := Resume(dir, Header{ConfigHash: "abc123", Seed: 7}); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	if _, err := Resume(t.TempDir(), testHeader()); err == nil {
+		t.Fatal("resume without header accepted")
+	}
+}
+
+func TestCreateWipesPreviousRun(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Create(dir, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteDay(4, testSnapshot(4)); err != nil {
+		t.Fatal(err)
+	}
+	// a fresh (non-resume) run over the same dir must not inherit days
+	d2, err := Create(dir, Header{ConfigHash: "new", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d2.LoadDay(4); ok || err != nil {
+		t.Fatalf("stale day survived Create: ok %v err %v", ok, err)
+	}
+}
+
+func TestWriteIsAtomic(t *testing.T) {
+	// After WriteDay returns, no temp files linger and the payload is
+	// complete; the atomic rename is what a mid-write crash relies on.
+	dir := t.TempDir()
+	d, err := Create(dir, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteDay(1, testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -123,6 +124,10 @@ type Pipeline struct {
 	nssetsByAddr map[netx.Addr][]nsset.Key
 	// slash24HasNS marks /24s containing at least one nameserver.
 	slash24HasNS map[netx.Prefix]bool
+	// quarantined marks days whose measurement sweep was skipped
+	// (panicked or timed out under the supervised study run); snapshot
+	// and baseline lookups walk back past them.
+	quarantined map[clock.Day]bool
 }
 
 // NewPipeline builds the join context. census, topo and openRes may be nil
@@ -153,6 +158,34 @@ func NewPipeline(cfg Config, db *dnsdb.DB, agg *nsset.Aggregator, census *anycas
 		p.slash24HasNS[a.Slash24()] = true
 	}
 	return p
+}
+
+// SetQuarantinedDays marks days without usable measurements (quarantined
+// day-shards of a supervised run). Snapshot-day and baseline-day lookups
+// step back past them — the same move OpenINTEL makes when a devastated
+// zone could not be measured and the previous day's NS list stands in
+// (§3.2) — so a single lost day does not silently drop every event whose
+// join day it was. Call before Events.
+func (p *Pipeline) SetQuarantinedDays(days []clock.Day) {
+	if p.quarantined == nil {
+		p.quarantined = make(map[clock.Day]bool, len(days))
+	}
+	for _, d := range days {
+		p.quarantined[d] = true
+	}
+}
+
+// maxQuarantineFallback bounds how many consecutive quarantined days a
+// lookup walks past before giving up (a week of lost sweeps means the
+// baseline is no longer comparable anyway).
+const maxQuarantineFallback = 7
+
+// measurableDay returns d, or the nearest earlier non-quarantined day.
+func (p *Pipeline) measurableDay(d clock.Day) clock.Day {
+	for i := 0; i < maxQuarantineFallback && p.quarantined[d]; i++ {
+		d = d.Prev()
+	}
+	return d
 }
 
 // Classify assigns each attack its target class (step 2 of the join).
@@ -219,8 +252,23 @@ func (e *Event) FailedCompletely() bool {
 // event per (attack, NSSet) with at least MinMeasuredDomains measurements
 // during the attack.
 func (p *Pipeline) Events(attacks []rsdos.Attack) []Event {
+	out, _ := p.EventsContext(context.Background(), attacks)
+	return out
+}
+
+// EventsContext is Events with cooperative cancellation, checked between
+// attacks. A cancelled join returns the events built so far together
+// with ctx.Err(); callers must treat such a slice as partial.
+func (p *Pipeline) EventsContext(ctx context.Context, attacks []rsdos.Attack) ([]Event, error) {
 	var out []Event
-	for _, ca := range p.Classify(attacks) {
+	for i, ca := range p.Classify(attacks) {
+		if i&255 == 0 {
+			select {
+			case <-ctx.Done():
+				return out, ctx.Err()
+			default:
+			}
+		}
 		if ca.Class != ClassDNSDirect {
 			continue
 		}
@@ -230,7 +278,7 @@ func (p *Pipeline) Events(attacks []rsdos.Attack) []Event {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (p *Pipeline) buildEvent(ca ClassifiedAttack, k nsset.Key) (Event, bool) {
@@ -243,6 +291,7 @@ func (p *Pipeline) buildEvent(ca ClassifiedAttack, k nsset.Key) (Event, bool) {
 	if p.cfg.UsePrevDaySnapshot {
 		snapDay = snapDay.Prev()
 	}
+	snapDay = p.measurableDay(snapDay)
 	if b := p.agg.Baseline(k, snapDay); b == nil || b.OKCount == 0 {
 		return Event{}, false
 	}
@@ -287,7 +336,7 @@ func (p *Pipeline) impactAt(k nsset.Key, w clock.Window) (float64, bool) {
 	if back <= 0 {
 		back = 1
 	}
-	return p.agg.ImpactVsDay(k, w, w.Day()-clock.Day(back))
+	return p.agg.ImpactVsDay(k, w, p.measurableDay(w.Day()-clock.Day(back)))
 }
 
 // enrich fills diversity, anycast, AS and provider metadata.

@@ -193,6 +193,22 @@ func (m *WindowMetrics) addSample(status QueryStatus, rtt time.Duration) {
 	}
 }
 
+// merge folds another window's totals into m; commutative and
+// associative, so shard merge order never changes the result.
+func (m *WindowMetrics) merge(o *WindowMetrics) {
+	m.Domains += o.Domains
+	m.OKCount += o.OKCount
+	m.Timeouts += o.Timeouts
+	m.ServFails += o.ServFails
+	m.SumRTT += o.SumRTT
+	if m.MinRTT == 0 || (o.MinRTT != 0 && o.MinRTT < m.MinRTT) {
+		m.MinRTT = o.MinRTT
+	}
+	if o.MaxRTT > m.MaxRTT {
+		m.MaxRTT = o.MaxRTT
+	}
+}
+
 // DayBaseline is the per-day aggregate used as the Eq. 1 denominator.
 type DayBaseline struct {
 	Day     clock.Day
@@ -207,6 +223,13 @@ func (b *DayBaseline) AvgRTT() time.Duration {
 		return 0
 	}
 	return b.SumRTT / time.Duration(b.OKCount)
+}
+
+// merge folds another baseline's totals into b.
+func (b *DayBaseline) merge(o *DayBaseline) {
+	b.OKCount += o.OKCount
+	b.SumRTT += o.SumRTT
+	b.Domains += o.Domains
 }
 
 // Aggregator folds per-query measurement samples into per-NSSet window
@@ -287,17 +310,7 @@ func (a *Aggregator) Merge(o *Aggregator) {
 				dst[w] = &cp
 				continue
 			}
-			t.Domains += m.Domains
-			t.OKCount += m.OKCount
-			t.Timeouts += m.Timeouts
-			t.ServFails += m.ServFails
-			t.SumRTT += m.SumRTT
-			if t.MinRTT == 0 || (m.MinRTT != 0 && m.MinRTT < t.MinRTT) {
-				t.MinRTT = m.MinRTT
-			}
-			if m.MaxRTT > t.MaxRTT {
-				t.MaxRTT = m.MaxRTT
-			}
+			t.merge(m)
 		}
 	}
 	for k, bm := range o.baselines {
@@ -313,9 +326,7 @@ func (a *Aggregator) Merge(o *Aggregator) {
 				dst[d] = &cp
 				continue
 			}
-			t.OKCount += b.OKCount
-			t.SumRTT += b.SumRTT
-			t.Domains += b.Domains
+			t.merge(b)
 		}
 	}
 }

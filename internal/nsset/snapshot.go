@@ -1,0 +1,109 @@
+package nsset
+
+import (
+	"sort"
+
+	"dnsddos/internal/clock"
+)
+
+// snapshot.go flattens an Aggregator into an exported, value-typed form
+// that serializes cleanly (gob/JSON), so completed day-shards can be
+// checkpointed to disk (internal/checkpoint) and folded back in on
+// resume (study.RunContext). The flattened form is deterministically
+// ordered: the same aggregator contents always produce the same
+// Snapshot, and therefore the same encoded bytes.
+
+// WindowSnap pairs one NSSet with the metrics of one 5-minute window.
+type WindowSnap struct {
+	Key Key
+	M   WindowMetrics
+}
+
+// BaselineSnap pairs one NSSet with one day baseline.
+type BaselineSnap struct {
+	Key Key
+	B   DayBaseline
+}
+
+// Snapshot is a value-typed dump of an Aggregator's contents, ordered by
+// (Key, Window) and (Key, Day).
+type Snapshot struct {
+	Windows   []WindowSnap
+	Baselines []BaselineSnap
+}
+
+// Snapshot dumps the aggregator's retained windows and baselines.
+func (a *Aggregator) Snapshot() Snapshot {
+	var s Snapshot
+	wkeys := make([]Key, 0, len(a.windows))
+	for k := range a.windows {
+		wkeys = append(wkeys, k)
+	}
+	sort.Slice(wkeys, func(i, j int) bool { return wkeys[i] < wkeys[j] })
+	for _, k := range wkeys {
+		wm := a.windows[k]
+		ws := make([]clock.Window, 0, len(wm))
+		for w := range wm {
+			ws = append(ws, wm[w].Window)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		for _, w := range ws {
+			s.Windows = append(s.Windows, WindowSnap{Key: k, M: *wm[w]})
+		}
+	}
+	bkeys := make([]Key, 0, len(a.baselines))
+	for k := range a.baselines {
+		bkeys = append(bkeys, k)
+	}
+	sort.Slice(bkeys, func(i, j int) bool { return bkeys[i] < bkeys[j] })
+	for _, k := range bkeys {
+		bm := a.baselines[k]
+		ds := make([]clock.Day, 0, len(bm))
+		for d := range bm {
+			ds = append(ds, d)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		for _, d := range ds {
+			s.Baselines = append(s.Baselines, BaselineSnap{Key: k, B: *bm[d]})
+		}
+	}
+	return s
+}
+
+// AddSnapshot merges a snapshot's contents into the aggregator, the
+// restore counterpart of Snapshot. The window filter applies as it does
+// for live samples; a resumed run rebuilds the same filter from the same
+// configuration, so checkpointed windows are re-admitted verbatim.
+func (a *Aggregator) AddSnapshot(s Snapshot) {
+	for i := range s.Windows {
+		ws := &s.Windows[i]
+		if a.filter != nil && !a.filter(ws.M.Window) {
+			continue
+		}
+		wm := a.windows[ws.Key]
+		if wm == nil {
+			wm = make(map[clock.Window]*WindowMetrics)
+			a.windows[ws.Key] = wm
+		}
+		if m := wm[ws.M.Window]; m != nil {
+			m.merge(&ws.M)
+		} else {
+			cp := ws.M
+			wm[ws.M.Window] = &cp
+		}
+	}
+	for i := range s.Baselines {
+		bs := &s.Baselines[i]
+		bm := a.baselines[bs.Key]
+		if bm == nil {
+			bm = make(map[clock.Day]*DayBaseline)
+			a.baselines[bs.Key] = bm
+		}
+		if b := bm[bs.B.Day]; b != nil {
+			b.merge(&bs.B)
+		} else {
+			cp := bs.B
+			bm[bs.B.Day] = &cp
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package nsset
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+)
+
+func sampleAggregator() *Aggregator {
+	a := NewAggregator()
+	k1 := KeyOf([]netx.Addr{netx.MustParseAddr("192.0.2.1")})
+	k2 := KeyOf([]netx.Addr{netx.MustParseAddr("192.0.2.2"), netx.MustParseAddr("192.0.2.3")})
+	t0 := clock.Day(3).Start()
+	a.Add(k1, t0.Add(time.Hour), StatusOK, 10*time.Millisecond)
+	a.Add(k1, t0.Add(time.Hour+time.Minute), StatusOK, 30*time.Millisecond)
+	a.Add(k1, t0.Add(7*time.Hour), StatusTimeout, 0)
+	a.Add(k2, t0.Add(2*time.Hour), StatusServFail, 0)
+	a.Add(k2, t0.Add(26*time.Hour), StatusOK, 5*time.Millisecond) // next day
+	return a
+}
+
+func aggEqual(a, b *Aggregator) bool {
+	return reflect.DeepEqual(a.Snapshot(), b.Snapshot())
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := sampleAggregator()
+	restored := NewAggregator()
+	restored.AddSnapshot(a.Snapshot())
+	if !aggEqual(a, restored) {
+		t.Fatalf("round trip changed contents:\n%+v\nvs\n%+v", a.Snapshot(), restored.Snapshot())
+	}
+	// spot-check a derived statistic survives
+	k1 := KeyOf([]netx.Addr{netx.MustParseAddr("192.0.2.1")})
+	ob, rb := a.Baseline(k1, 3), restored.Baseline(k1, 3)
+	if rb == nil || *ob != *rb {
+		t.Errorf("baseline differs: %+v vs %+v", ob, rb)
+	}
+	ow := a.Window(k1, clock.WindowOf(clock.Day(3).Start().Add(time.Hour)))
+	rw := restored.Window(k1, clock.WindowOf(clock.Day(3).Start().Add(time.Hour)))
+	if rw == nil || *ow != *rw {
+		t.Errorf("window differs: %+v vs %+v", ow, rw)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	a, b := sampleAggregator(), sampleAggregator()
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("identical aggregators produced different snapshots")
+	}
+}
+
+func TestAddSnapshotMergesIntoExisting(t *testing.T) {
+	// restoring a snapshot into a non-empty aggregator must behave like
+	// Merge, not overwrite
+	viaMerge := NewAggregator()
+	viaMerge.Merge(sampleAggregator())
+	viaMerge.Merge(sampleAggregator())
+
+	viaSnap := NewAggregator()
+	viaSnap.AddSnapshot(sampleAggregator().Snapshot())
+	viaSnap.AddSnapshot(sampleAggregator().Snapshot())
+
+	if !aggEqual(viaMerge, viaSnap) {
+		t.Fatal("AddSnapshot and Merge disagree")
+	}
+}
+
+func TestAddSnapshotRespectsFilter(t *testing.T) {
+	src := sampleAggregator()
+	keepW := clock.WindowOf(clock.Day(3).Start().Add(time.Hour))
+	dst := NewAggregator()
+	dst.SetWindowFilter(func(w clock.Window) bool { return w == keepW })
+	dst.AddSnapshot(src.Snapshot())
+	k1 := KeyOf([]netx.Addr{netx.MustParseAddr("192.0.2.1")})
+	if dst.Window(k1, keepW) == nil {
+		t.Error("admitted window missing")
+	}
+	if dst.Window(k1, clock.WindowOf(clock.Day(3).Start().Add(7*time.Hour))) != nil {
+		t.Error("filtered window restored anyway")
+	}
+	// baselines always survive the filter
+	if dst.Baseline(k1, 3) == nil {
+		t.Error("baseline lost")
+	}
+}

@@ -10,6 +10,7 @@
 package openintel
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -78,12 +79,32 @@ func (e *Engine) MeasureAt(rng *rand.Rand, d dnsdb.DomainID, t time.Time) Record
 // domains are visited in slot order, mirroring a platform that works
 // through its measurement list over the day.
 func (e *Engine) RunDay(day clock.Day, agg *nsset.Aggregator, each func(Record)) {
+	e.RunDayContext(context.Background(), day, agg, each)
+}
+
+// ctxCheckStride bounds how many domains a sweep measures between
+// cancellation checks; a power of two so the check is a mask.
+const ctxCheckStride = 1024
+
+// RunDayContext is RunDay with cooperative cancellation: the sweep
+// checks ctx every ctxCheckStride domains and returns ctx.Err() when the
+// run is cancelled, leaving agg partially filled — callers that care
+// about exactness (the checkpointed study pipeline) discard the partial
+// aggregator and re-run the day on resume.
+func (e *Engine) RunDayContext(ctx context.Context, day clock.Day, agg *nsset.Aggregator, each func(Record)) error {
 	rng := rand.New(rand.NewPCG(e.seed, uint64(day)+1))
 	// bucket domains by slot so emission is in time order without a
 	// full sort every day
 	order := e.slotOrder()
 	base := day.Start()
-	for _, d := range order {
+	for i, d := range order {
+		if i&(ctxCheckStride-1) == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
 		t := base.Add(time.Duration(e.slot[d]) * time.Second)
 		rec := e.MeasureAt(rng, d, t)
 		if agg != nil {
@@ -93,6 +114,7 @@ func (e *Engine) RunDay(day clock.Day, agg *nsset.Aggregator, each func(Record))
 			each(rec)
 		}
 	}
+	return nil
 }
 
 // slotOrder returns domain IDs sorted by daily slot (cached lazily would
@@ -116,9 +138,18 @@ func (e *Engine) slotOrder() []dnsdb.DomainID {
 
 // RunRange sweeps days [from, to] inclusive.
 func (e *Engine) RunRange(from, to clock.Day, agg *nsset.Aggregator, each func(Record)) {
+	e.RunRangeContext(context.Background(), from, to, agg, each)
+}
+
+// RunRangeContext sweeps days [from, to] inclusive, stopping at the
+// first cancelled day.
+func (e *Engine) RunRangeContext(ctx context.Context, from, to clock.Day, agg *nsset.Aggregator, each func(Record)) error {
 	for d := from; d <= to; d++ {
-		e.RunDay(d, agg, each)
+		if err := e.RunDayContext(ctx, d, agg, each); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // RecordWriter streams records as JSON lines.

@@ -2,6 +2,8 @@ package openintel
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand/v2"
 	"testing"
 	"time"
@@ -121,6 +123,59 @@ func TestAggregatorIntegration(t *testing.T) {
 	}
 	if b.AvgRTT() < 5*time.Millisecond || b.AvgRTT() > 30*time.Millisecond {
 		t.Errorf("baseline RTT = %v", b.AvgRTT())
+	}
+}
+
+func TestRunDayContextCancelled(t *testing.T) {
+	db, res := testWorld(t, 50)
+	e := NewEngine(db, res, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 0
+	err := e.RunDayContext(ctx, 0, nil, func(Record) { n++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != 0 {
+		t.Errorf("measured %d domains after cancellation", n)
+	}
+}
+
+func TestRunDayContextMidSweepCancel(t *testing.T) {
+	// cancel after the first ctx-check stride: the sweep must stop well
+	// short of the full domain list
+	db, res := testWorld(t, 3000)
+	e := NewEngine(db, res, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	err := e.RunDayContext(ctx, 0, nil, func(Record) {
+		n++
+		if n == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n >= 3000 {
+		t.Errorf("sweep ran to completion despite cancellation")
+	}
+}
+
+func TestRunRangeContextStopsAtCancelledDay(t *testing.T) {
+	db, res := testWorld(t, 20)
+	e := NewEngine(db, res, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	err := e.RunRangeContext(ctx, 0, 5, nil, func(Record) {
+		n++
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n >= 20*6 {
+		t.Errorf("range sweep ran all %d measurements despite cancellation", n)
 	}
 }
 

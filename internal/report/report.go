@@ -332,6 +332,36 @@ func FailureBreakdown(w io.Writer, fb core.FailureBreakdown) {
 		fb.UnicastFailShare, fb.SingleASNFailShare, fb.SinglePrefixFailShare)
 }
 
+// SkippedDayRow is one quarantined day-shard of a supervised study run
+// (study.RunReport.SkippedDays, minus the stack trace).
+type SkippedDayRow struct {
+	Day      clock.Day
+	Reason   string
+	Attempts int
+}
+
+// SkippedDays renders the quarantine report of a supervised run: which
+// daily sweeps were lost to panics or watchdog timeouts, so a completed
+// run is never mistaken for a complete one.
+func SkippedDays(w io.Writer, rows []SkippedDayRow) {
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "Skipped days: none\n")
+		return
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Skipped days: %d day-shard(s) quarantined", len(rows)),
+		Headers: []string{"Day", "Attempts", "Reason"},
+	}
+	for _, r := range rows {
+		reason := r.Reason
+		if i := strings.IndexByte(reason, '\n'); i >= 0 {
+			reason = reason[:i]
+		}
+		t.Rows = append(t.Rows, []string{r.Day.String(), strconv.Itoa(r.Attempts), reason})
+	}
+	t.Fprint(w)
+}
+
 // eventsHeader is the schema of the joined-events CSV (cmd/joinpipe's
 // output and the offline-analysis interchange format).
 var eventsHeader = []string{

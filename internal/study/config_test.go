@@ -2,8 +2,11 @@ package study
 
 import (
 	"bytes"
+	"context"
+	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestConfigJSONRoundTrip(t *testing.T) {
@@ -68,6 +71,15 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.ToDay = 100000 },
 		func(c *Config) { c.Resolver.MaxTries = 0 },
 		func(c *Config) { c.Net.ScrubEfficiency = -1 },
+		func(c *Config) { c.World.MisconfiguredShare = math.NaN() },
+		func(c *Config) { c.World.AnycastRecall = math.NaN() },
+		func(c *Config) { c.Attacks.DNSShare = math.NaN() },
+		func(c *Config) { c.Net.ScrubEfficiency = math.NaN() },
+		func(c *Config) { c.Parallelism = -1 },
+		func(c *Config) { c.WindowMarginBefore = -time.Hour },
+		func(c *Config) { c.WindowMarginAfter = -time.Second },
+		func(c *Config) { c.Pipeline.MinMeasuredDomains = -1 },
+		func(c *Config) { c.Pipeline.BaselineDaysBack = -7 },
 	}
 	for i, mutate := range bad {
 		cfg := DefaultConfig()
@@ -75,5 +87,33 @@ func TestValidate(t *testing.T) {
 		if err := Validate(cfg); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
+	}
+}
+
+// TestValidateErrorsNameField guards the debuggability contract: a bad
+// value must be reported by field name, not as a panic deep in the run.
+func TestValidateErrorsNameField(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = -3
+	err := Validate(cfg)
+	if err == nil || !strings.Contains(err.Error(), "Parallelism") {
+		t.Errorf("error %v does not name the field", err)
+	}
+	cfg = DefaultConfig()
+	cfg.World.MisconfiguredShare = math.NaN()
+	err = Validate(cfg)
+	if err == nil || !strings.Contains(err.Error(), "World.MisconfiguredShare") {
+		t.Errorf("error %v does not name the field", err)
+	}
+}
+
+// TestRunContextRejectsInvalidConfig checks the fail-fast path: an
+// invalid config must come back as an error in milliseconds, before any
+// world generation or sweeping.
+func TestRunContextRejectsInvalidConfig(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.World.Domains = 0
+	if _, err := RunContext(context.Background(), cfg, Options{}); err == nil {
+		t.Fatal("invalid config accepted by RunContext")
 	}
 }

@@ -1,0 +1,143 @@
+package study
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dnsddos/internal/clock"
+)
+
+// TestPanicQuarantine is the isolation contract: a deterministically
+// panicking day-shard is retried once, then quarantined and reported —
+// the run itself succeeds and the other days' events survive.
+func TestPanicQuarantine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := resumeConfig()
+	cfg.Parallelism = 2
+	target := clock.Day(29)
+	var mu sync.Mutex
+	calls := 0
+	s, err := RunContext(context.Background(), cfg, Options{
+		BeforeDay: func(d clock.Day) {
+			if d == target {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				panic("injected fault")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("a panicking day-shard failed the whole run: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("panicking shard attempted %d times, want 2 (retry once)", calls)
+	}
+	if len(s.Report.SkippedDays) != 1 {
+		t.Fatalf("SkippedDays = %+v, want exactly the injected day", s.Report.SkippedDays)
+	}
+	sk := s.Report.SkippedDays[0]
+	if sk.Day != target {
+		t.Errorf("quarantined day = %v, want %v", sk.Day, target)
+	}
+	if sk.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", sk.Attempts)
+	}
+	if !strings.Contains(sk.Reason, "panic") || !strings.Contains(sk.Reason, "injected fault") {
+		t.Errorf("Reason = %q, want the panic value", sk.Reason)
+	}
+	if sk.Stack == "" {
+		t.Error("quarantine report lost the panic stack")
+	}
+	if want := int(cfg.ToDay-cfg.FromDay) + 1 - 1; s.Report.CompletedDays != want {
+		t.Errorf("CompletedDays = %d, want %d", s.Report.CompletedDays, want)
+	}
+	if len(s.Events) == 0 {
+		t.Error("join produced no events; the un-quarantined days were lost too")
+	}
+}
+
+// TestPanicRetryRecovers covers the transient-fault path: a shard that
+// panics once and succeeds on retry leaves no trace — no quarantine, and
+// output identical to a clean run.
+func TestPanicRetryRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := resumeConfig()
+
+	ref, err := RunContext(context.Background(), cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	n := 0
+	s, err := RunContext(context.Background(), cfg, Options{
+		BeforeDay: func(d clock.Day) {
+			if d == 29 {
+				mu.Lock()
+				n++
+				first := n == 1
+				mu.Unlock()
+				if first {
+					panic("transient fault")
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Report.SkippedDays) != 0 {
+		t.Fatalf("transient panic quarantined anyway: %+v", s.Report.SkippedDays)
+	}
+	if n != 2 {
+		t.Errorf("shard ran %d times, want 2", n)
+	}
+	if !bytes.Equal(eventsBytes(t, ref), eventsBytes(t, s)) {
+		t.Error("retried run's events differ from a clean run")
+	}
+}
+
+// TestWatchdogQuarantinesStuckShard: a day-shard that exceeds the
+// watchdog deadline is quarantined (not retried — retrying a stuck sweep
+// doubles the stall) and the run completes.
+func TestWatchdogQuarantinesStuckShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := resumeConfig()
+	cfg.Parallelism = 1
+	target := clock.Day(30)
+	s, err := RunContext(context.Background(), cfg, Options{
+		ShardTimeout: 100 * time.Millisecond,
+		BeforeDay: func(d clock.Day) {
+			if d == target {
+				time.Sleep(400 * time.Millisecond)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("a stuck day-shard failed the whole run: %v", err)
+	}
+	if len(s.Report.SkippedDays) != 1 {
+		t.Fatalf("SkippedDays = %+v, want exactly the stalled day", s.Report.SkippedDays)
+	}
+	sk := s.Report.SkippedDays[0]
+	if sk.Day != target || !strings.HasPrefix(sk.Reason, "watchdog") {
+		t.Errorf("quarantine = %+v, want a watchdog timeout on day %v", sk, target)
+	}
+	if sk.Attempts != 1 {
+		t.Errorf("watchdog timeout retried: Attempts = %d, want 1", sk.Attempts)
+	}
+	if want := int(cfg.ToDay-cfg.FromDay) + 1 - 1; s.Report.CompletedDays != want {
+		t.Errorf("CompletedDays = %d, want %d", s.Report.CompletedDays, want)
+	}
+}

@@ -1,0 +1,214 @@
+package study
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/report"
+)
+
+// resumeConfig spans the TransIP December attack (days 27–31) so the
+// event join has real work to do across the kill point.
+func resumeConfig() Config {
+	cfg := QuickConfig()
+	cfg.World.Domains = 2500
+	cfg.Attacks.TotalAttacks = 2500
+	cfg.FromDay, cfg.ToDay = 27, 33
+	return cfg
+}
+
+func eventsBytes(t *testing.T, s *Study) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := report.EventsCSV(&buf, s.Events); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCancelAndResumeByteIdentical is the crash-safety contract: kill a
+// run after day k, resume it, and the joined events must be
+// byte-identical to an uninterrupted run.
+func TestCancelAndResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := resumeConfig()
+
+	ref, err := RunContext(context.Background(), cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Events) == 0 {
+		t.Fatal("reference run joined no events; the comparison would be vacuous")
+	}
+	refCSV := eventsBytes(t, ref)
+
+	// killed run: Parallelism 1 makes the dispatch order deterministic, so
+	// cancelling at the 3rd day-shard always leaves exactly days 27–28
+	// checkpointed.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killCfg := cfg
+	killCfg.Parallelism = 1
+	n := 0
+	_, err = RunContext(ctx, killCfg, Options{
+		CheckpointDir: dir,
+		BeforeDay: func(clock.Day) {
+			n++
+			if n == 3 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run error = %v, want context.Canceled", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "day_*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("killed run checkpointed %d days, want 2: %v", len(files), files)
+	}
+
+	// resume with the original parallelism: the header hash ignores
+	// Parallelism, so a resume on different hardware is legitimate
+	res, err := RunContext(context.Background(), cfg, Options{CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.ResumedDays != 2 {
+		t.Errorf("ResumedDays = %d, want 2", res.Report.ResumedDays)
+	}
+	if want := int(cfg.ToDay-cfg.FromDay) + 1 - 2; res.Report.CompletedDays != want {
+		t.Errorf("CompletedDays = %d, want %d", res.Report.CompletedDays, want)
+	}
+	if !bytes.Equal(refCSV, eventsBytes(t, res)) {
+		t.Error("resumed run's events differ from the uninterrupted run")
+	}
+}
+
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		in, err := os.Open(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.Create(filepath.Join(dst, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			t.Fatal(err)
+		}
+		in.Close()
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func firstDayFile(t *testing.T, dir string) string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "day_*.ckpt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no day checkpoints in %s (err %v)", dir, err)
+	}
+	sort.Strings(files)
+	return files[0]
+}
+
+// TestResumeRefusesCorruptCheckpoints covers the refusal matrix: every
+// damaged or mismatched checkpoint directory must produce a clean error,
+// never a silent partial resume.
+func TestResumeRefusesCorruptCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := resumeConfig()
+	cfg.FromDay, cfg.ToDay = 27, 29
+
+	seed := t.TempDir()
+	if _, err := RunContext(context.Background(), cfg, Options{CheckpointDir: seed}); err != nil {
+		t.Fatal(err)
+	}
+
+	resume := func(dir string, c Config) error {
+		_, err := RunContext(context.Background(), c, Options{CheckpointDir: dir, Resume: true})
+		return err
+	}
+
+	t.Run("pristine dir resumes", func(t *testing.T) {
+		if err := resume(copyDir(t, seed), cfg); err != nil {
+			t.Fatalf("clean resume failed: %v", err)
+		}
+	})
+	t.Run("truncated day file", func(t *testing.T) {
+		dir := copyDir(t, seed)
+		p := firstDayFile(t, dir)
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, b[:len(b)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := resume(dir, cfg); err == nil {
+			t.Fatal("truncated checkpoint accepted")
+		}
+	})
+	t.Run("flipped byte", func(t *testing.T) {
+		dir := copyDir(t, seed)
+		p := firstDayFile(t, dir)
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x01
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := resume(dir, cfg); err == nil {
+			t.Fatal("bit-flipped checkpoint accepted")
+		}
+	})
+	t.Run("seed mismatch", func(t *testing.T) {
+		c := cfg
+		c.MeasureSeed++
+		if err := resume(copyDir(t, seed), c); err == nil {
+			t.Fatal("resume with a different measurement seed accepted")
+		}
+	})
+	t.Run("config mismatch", func(t *testing.T) {
+		c := cfg
+		c.World.Domains++
+		if err := resume(copyDir(t, seed), c); err == nil {
+			t.Fatal("resume with a different world accepted")
+		}
+	})
+	t.Run("missing header", func(t *testing.T) {
+		dir := copyDir(t, seed)
+		if err := os.Remove(filepath.Join(dir, "header.json")); err != nil {
+			t.Fatal(err)
+		}
+		if err := resume(dir, cfg); err == nil {
+			t.Fatal("headerless directory accepted")
+		}
+	})
+}

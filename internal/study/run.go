@@ -1,0 +1,339 @@
+package study
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dnsddos/internal/checkpoint"
+	"dnsddos/internal/clock"
+	"dnsddos/internal/core"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/openintel"
+	"dnsddos/internal/resolver"
+	"dnsddos/internal/rsdos"
+	"dnsddos/internal/scenario"
+	"dnsddos/internal/simnet"
+	"dnsddos/internal/telescope"
+)
+
+// run.go is the supervised run loop: RunContext executes the study as
+// independent per-day shards under a worker pool, with cooperative
+// cancellation, per-shard panic isolation (retry once, then quarantine),
+// an optional watchdog deadline, and durable per-day checkpoints so a
+// killed run resumes from the last completed day (DESIGN §3.2).
+
+// Options tunes the supervised run loop; the zero value reproduces the
+// historical Run behaviour (no checkpoints, no watchdog).
+type Options struct {
+	// CheckpointDir, when non-empty, persists every completed day-shard
+	// to a CRC-guarded journal in this directory (internal/checkpoint).
+	CheckpointDir string
+	// Resume restarts from the checkpoints in CheckpointDir instead of
+	// day 0. The directory's header (config hash + seed) must match the
+	// current configuration; a mismatch is refused with an error.
+	Resume bool
+	// ShardTimeout is the per-day-shard watchdog deadline: a sweep that
+	// exceeds it is cancelled and quarantined instead of hanging the
+	// whole run. Zero disables the watchdog.
+	ShardTimeout time.Duration
+	// BeforeDay, when set, runs at the start of every day-shard attempt,
+	// inside the shard's panic isolation. It exists for progress
+	// reporting and fault injection (the chaos suite panics or stalls
+	// here); a panic in the hook quarantines the day like any other.
+	BeforeDay func(clock.Day)
+}
+
+// SkippedDay records one quarantined day-shard.
+type SkippedDay struct {
+	Day clock.Day
+	// Reason is "panic: ..." or "watchdog: ...".
+	Reason string
+	// Stack is the shard goroutine's stack captured at the final panic
+	// (empty for watchdog timeouts).
+	Stack string
+	// Attempts is how many times the shard was tried before quarantine.
+	Attempts int
+}
+
+// RunReport summarizes what the supervised loop did: how many day-shards
+// were restored from checkpoints, how many were swept this run, and
+// which were quarantined.
+type RunReport struct {
+	ResumedDays   int
+	CompletedDays int
+	// SkippedDays lists quarantined day-shards in ascending day order.
+	SkippedDays []SkippedDay
+}
+
+// QuarantinedDays returns just the skipped days, ascending.
+func (r *RunReport) QuarantinedDays() []clock.Day {
+	out := make([]clock.Day, len(r.SkippedDays))
+	for i := range r.SkippedDays {
+		out[i] = r.SkippedDays[i].Day
+	}
+	return out
+}
+
+// ConfigHash fingerprints a configuration for the checkpoint header. It
+// hashes the JSON encoding with Parallelism normalized to zero:
+// parallelism shards work but never changes results (the merge is
+// commutative), so a run may legitimately resume on different hardware.
+func ConfigHash(cfg Config) (string, error) {
+	cfg.Parallelism = 0
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("study: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// RunContext executes the full study under supervision. It cancels
+// cleanly when ctx does (between phases, between day-shards, and every
+// few hundred domains inside a sweep), checkpoints completed days when
+// opts.CheckpointDir is set, and isolates day-shard failures: a
+// panicking day is retried once and then quarantined into
+// Study.Report.SkippedDays with its stack, while the join falls back to
+// the nearest earlier measurable day for quarantined days. The returned
+// error is non-nil only for cancellation, invalid configuration, or
+// checkpoint I/O failure — a panicking or stuck day-shard never fails
+// the run.
+func RunContext(ctx context.Context, cfg Config, opts Options) (*Study, error) {
+	if err := Validate(cfg); err != nil {
+		return nil, err
+	}
+	s := &Study{Config: cfg}
+	s.World = scenario.GenerateWorld(cfg.World)
+	s.Schedule = scenario.GenerateSchedule(cfg.Attacks, s.World)
+	s.Telescope = telescope.NewUCSD()
+	s.Obs = scenario.SynthesizeObs(cfg.Synth, s.World, s.Schedule.Sched, s.Telescope)
+	if cfg.IncludeNoise {
+		s.Obs = append(s.Obs, scenario.SynthesizeNoise(cfg.Noise, s.Telescope)...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.Attacks = rsdos.Infer(cfg.RSDoS, s.Obs)
+
+	s.Net = simnet.New(cfg.Net, s.World.DB, s.Schedule.Sched, s.Schedule.Blackouts...)
+	s.Resolver = resolver.New(cfg.Resolver, s.World.DB, s.Net)
+	s.Engine = openintel.NewEngine(s.World.DB, s.Resolver, cfg.MeasureSeed)
+
+	s.Agg = nsset.NewAggregator()
+	filter := s.windowFilter()
+	s.Agg.SetWindowFilter(filter)
+
+	var ckpt *checkpoint.Dir
+	done := make(map[clock.Day]bool)
+	if opts.CheckpointDir != "" {
+		hash, err := ConfigHash(cfg)
+		if err != nil {
+			return nil, err
+		}
+		hdr := checkpoint.Header{ConfigHash: hash, Seed: cfg.MeasureSeed}
+		if opts.Resume {
+			if ckpt, err = checkpoint.Resume(opts.CheckpointDir, hdr); err != nil {
+				return nil, err
+			}
+			snaps, err := ckpt.LoadDays(cfg.FromDay, cfg.ToDay)
+			if err != nil {
+				return nil, err
+			}
+			for d, snap := range snaps {
+				s.Agg.AddSnapshot(snap)
+				done[d] = true
+			}
+			s.Report.ResumedDays = len(snaps)
+		} else if ckpt, err = checkpoint.Create(opts.CheckpointDir, hdr); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := s.runSweepsSupervised(ctx, opts, filter, ckpt, done); err != nil {
+		return nil, err
+	}
+
+	s.Pipeline = core.NewPipeline(cfg.Pipeline, s.World.DB, s.Agg, s.World.Census, s.World.Topo, s.World.OpenRes)
+	if q := s.Report.QuarantinedDays(); len(q) > 0 {
+		s.Pipeline.SetQuarantinedDays(q)
+	}
+	s.Classified = s.Pipeline.Classify(s.Attacks)
+	var err error
+	if s.Events, err = s.Pipeline.EventsContext(ctx, s.Attacks); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// runSweepsSupervised runs the daily sweeps as independent day-shards
+// under a bounded worker pool. Each shard sweeps into a private
+// aggregator; on success the result is checkpointed (if enabled) and
+// merged — in whatever order shards complete, which is safe because the
+// merge is commutative. Days already restored from checkpoints (done)
+// are not re-run.
+func (s *Study) runSweepsSupervised(ctx context.Context, opts Options, filter func(clock.Window) bool, ckpt *checkpoint.Dir, done map[clock.Day]bool) error {
+	from, to := s.Config.FromDay, s.Config.ToDay
+	if to < from {
+		return nil
+	}
+	days := make([]clock.Day, 0, int(to-from)+1)
+	for d := from; d <= to; d++ {
+		if !done[d] {
+			days = append(days, d)
+		}
+	}
+	if len(days) == 0 {
+		return ctx.Err()
+	}
+	par := s.Config.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(days) {
+		par = len(days)
+	}
+
+	var (
+		mu      sync.Mutex // guards s.Agg, s.Report and ckptErr
+		wg      sync.WaitGroup
+		ckptErr error
+	)
+	sem := make(chan struct{}, par)
+dispatch:
+	for _, day := range days {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
+		mu.Lock()
+		failed := ckptErr != nil
+		mu.Unlock()
+		if failed {
+			<-sem
+			break
+		}
+		wg.Add(1)
+		go func(day clock.Day) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			agg, skipped := s.runDayShard(ctx, day, filter, opts)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case skipped != nil:
+				s.Report.SkippedDays = append(s.Report.SkippedDays, *skipped)
+			case agg != nil:
+				if ckpt != nil && ckptErr == nil {
+					if err := ckpt.WriteDay(day, agg.Snapshot()); err != nil {
+						ckptErr = err
+						return
+					}
+				}
+				s.Agg.Merge(agg)
+				s.Report.CompletedDays++
+			}
+			// agg == nil && skipped == nil: shard abandoned on
+			// cancellation; the day stays un-checkpointed and re-runs
+			// on resume.
+		}(day)
+	}
+	wg.Wait()
+	sort.Slice(s.Report.SkippedDays, func(i, j int) bool {
+		return s.Report.SkippedDays[i].Day < s.Report.SkippedDays[j].Day
+	})
+	if ckptErr != nil {
+		return fmt.Errorf("study: writing checkpoint: %w", ckptErr)
+	}
+	return ctx.Err()
+}
+
+// runDayShard sweeps one day with isolation: a panicking attempt is
+// retried once, then quarantined; a watchdog timeout quarantines
+// immediately (retrying a stuck sweep would just double the stall). A
+// (nil, nil) return means the shard was abandoned because ctx was
+// cancelled.
+func (s *Study) runDayShard(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (*nsset.Aggregator, *SkippedDay) {
+	const maxAttempts = 2
+	for attempt := 1; ; attempt++ {
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		agg, sk := s.sweepDayOnce(ctx, day, filter, opts)
+		if sk == nil {
+			return agg, nil // completed, or (nil, nil) when cancelled
+		}
+		sk.Attempts = attempt
+		if strings.HasPrefix(sk.Reason, "watchdog") || attempt == maxAttempts {
+			return nil, sk
+		}
+	}
+}
+
+// sweepDayOnce runs a single attempt, under the watchdog when enabled.
+func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (*nsset.Aggregator, *SkippedDay) {
+	if opts.ShardTimeout <= 0 {
+		return s.sweepAttempt(ctx, day, filter, opts)
+	}
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		agg *nsset.Aggregator
+		sk  *SkippedDay
+	}
+	ch := make(chan result, 1)
+	go func() {
+		a, sk := s.sweepAttempt(dctx, day, filter, opts)
+		ch <- result{a, sk}
+	}()
+	timer := time.NewTimer(opts.ShardTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.agg, r.sk
+	case <-timer.C:
+		// Cancel the shard's context so a cooperative sweep exits
+		// promptly; a truly wedged goroutine is abandoned (it owns a
+		// private aggregator nobody will read).
+		cancel()
+		return nil, &SkippedDay{
+			Day:    day,
+			Reason: fmt.Sprintf("watchdog: day-shard exceeded %v", opts.ShardTimeout),
+		}
+	}
+}
+
+// sweepAttempt is one isolated sweep of one day into a fresh private
+// aggregator. Panics — in the BeforeDay hook or anywhere inside the
+// engine/resolver/data plane — are captured with their stack instead of
+// crashing the run. A (nil, nil) return means ctx was cancelled.
+func (s *Study) sweepAttempt(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (agg *nsset.Aggregator, sk *SkippedDay) {
+	defer func() {
+		if r := recover(); r != nil {
+			agg = nil
+			sk = &SkippedDay{
+				Day:    day,
+				Reason: fmt.Sprintf("panic: %v", r),
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	if opts.BeforeDay != nil {
+		opts.BeforeDay(day)
+	}
+	a := nsset.NewAggregator()
+	a.SetWindowFilter(filter)
+	if err := s.Engine.RunDayContext(ctx, day, a, nil); err != nil {
+		return nil, nil
+	}
+	return a, nil
+}

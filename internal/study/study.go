@@ -6,8 +6,9 @@
 package study
 
 import (
-	"runtime"
-	"sync"
+	"context"
+	"fmt"
+	"time"
 
 	"dnsddos/internal/clock"
 	"dnsddos/internal/core"
@@ -18,7 +19,6 @@ import (
 	"dnsddos/internal/scenario"
 	"dnsddos/internal/simnet"
 	"dnsddos/internal/telescope"
-	"time"
 )
 
 // Config collects every knob of a full study run.
@@ -100,32 +100,22 @@ type Study struct {
 	Pipeline   *core.Pipeline
 	Classified []core.ClassifiedAttack
 	Events     []core.Event
+	// Report summarizes the supervised run loop: resumed, completed and
+	// quarantined day-shards.
+	Report RunReport
 }
 
-// Run executes the full study.
+// Run executes the full study, uninterruptible and without checkpoints —
+// the historical entry point, kept as a thin wrapper over RunContext.
+// It panics on an invalid configuration (RunContext returns the error
+// instead).
 func Run(cfg Config) *Study {
-	s := &Study{Config: cfg}
-	s.World = scenario.GenerateWorld(cfg.World)
-	s.Schedule = scenario.GenerateSchedule(cfg.Attacks, s.World)
-	s.Telescope = telescope.NewUCSD()
-	s.Obs = scenario.SynthesizeObs(cfg.Synth, s.World, s.Schedule.Sched, s.Telescope)
-	if cfg.IncludeNoise {
-		s.Obs = append(s.Obs, scenario.SynthesizeNoise(cfg.Noise, s.Telescope)...)
+	s, err := RunContext(context.Background(), cfg, Options{})
+	if err != nil {
+		// With a background context and no checkpoint/resume options the
+		// only possible failure is an invalid configuration.
+		panic(fmt.Sprintf("study.Run: %v", err))
 	}
-	s.Attacks = rsdos.Infer(cfg.RSDoS, s.Obs)
-
-	s.Net = simnet.New(cfg.Net, s.World.DB, s.Schedule.Sched, s.Schedule.Blackouts...)
-	s.Resolver = resolver.New(cfg.Resolver, s.World.DB, s.Net)
-	s.Engine = openintel.NewEngine(s.World.DB, s.Resolver, cfg.MeasureSeed)
-
-	s.Agg = nsset.NewAggregator()
-	filter := s.windowFilter()
-	s.Agg.SetWindowFilter(filter)
-	s.runSweeps(filter)
-
-	s.Pipeline = core.NewPipeline(cfg.Pipeline, s.World.DB, s.Agg, s.World.Census, s.World.Topo, s.World.OpenRes)
-	s.Classified = s.Pipeline.Classify(s.Attacks)
-	s.Events = s.Pipeline.Events(s.Attacks)
 	return s
 }
 
@@ -150,58 +140,3 @@ func (s *Study) windowFilter() func(clock.Window) bool {
 	}
 }
 
-// runSweeps runs the daily measurement sweeps, sharded across goroutines
-// by day (days are independent: the engine derives a fresh deterministic
-// rng per day, and window/day aggregates merge commutatively).
-func (s *Study) runSweeps(filter func(clock.Window) bool) {
-	from, to := s.Config.FromDay, s.Config.ToDay
-	if to < from {
-		return
-	}
-	par := s.Config.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	nDays := int(to-from) + 1
-	if par > nDays {
-		par = nDays
-	}
-	if par <= 1 {
-		s.Engine.RunRange(from, to, s.Agg, nil)
-		return
-	}
-	type shard struct {
-		from, to clock.Day
-	}
-	shards := make([]shard, 0, par)
-	per := nDays / par
-	extra := nDays % par
-	cur := from
-	for i := 0; i < par; i++ {
-		n := per
-		if i < extra {
-			n++
-		}
-		if n == 0 {
-			continue
-		}
-		shards = append(shards, shard{from: cur, to: cur + clock.Day(n) - 1})
-		cur += clock.Day(n)
-	}
-	aggs := make([]*nsset.Aggregator, len(shards))
-	var wg sync.WaitGroup
-	for i, sh := range shards {
-		wg.Add(1)
-		go func(i int, sh shard) {
-			defer wg.Done()
-			a := nsset.NewAggregator()
-			a.SetWindowFilter(filter)
-			s.Engine.RunRange(sh.from, sh.to, a, nil)
-			aggs[i] = a
-		}(i, sh)
-	}
-	wg.Wait()
-	for _, a := range aggs {
-		s.Agg.Merge(a)
-	}
-}
