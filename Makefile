@@ -5,14 +5,27 @@
 
 GO ?= go
 
-.PHONY: build test race-gate chaos bench-throughput report
+.PHONY: build test obs race-gate chaos bench-throughput report
 
 build:
 	$(GO) build ./...
 
-test: build
+test: build obs
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# Observability gate: the metrics layer and its consumers under the race
+# detector — concurrent counter/histogram exactness, snapshot
+# determinism (golden files), the HTTP endpoint lifecycle, the
+# goroutine-leak helper applied to server and resolver teardown, and a
+# smoke pass over the wire-format fuzz seed corpora.
+obs:
+	$(GO) test -race ./internal/obs/ ./internal/netx/ -count 1
+	$(GO) test -race ./internal/authserver/ -run 'Leaks|TestMetricsEndpoint' -count 1
+	$(GO) test -race ./internal/resolver/ -run 'TestLiveResolverMetrics' -count 1
+	$(GO) test -race ./internal/dnsload/ -run 'TestFailureClassificationTable' -count 1
+	$(GO) test -race ./internal/study/ -run 'TestRunMetrics' -count 1
+	$(GO) test ./internal/dnswire/ -run 'Fuzz' -count 1
 
 # Concurrency gate: run before merging changes to the serving path.
 race-gate:

@@ -11,7 +11,7 @@
 // Usage:
 //
 //	joinpipe [-domains N] [-attacks N] [-out FILE] [-quick] [-config FILE]
-//	         [-checkpoint DIR] [-resume] [-shard-timeout D]
+//	         [-checkpoint DIR] [-resume] [-shard-timeout D] [-metrics-addr :9090]
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"dnsddos/internal/obs"
 	"dnsddos/internal/report"
 	"dnsddos/internal/study"
 )
@@ -55,6 +56,7 @@ func run() (err error) {
 	ckptDir := flag.String("checkpoint", "", "checkpoint directory: persist each completed day-sweep")
 	resume := flag.Bool("resume", false, "resume from the checkpoints in -checkpoint instead of day 0")
 	shardTimeout := flag.Duration("shard-timeout", 0, "watchdog deadline per day-sweep (0 = none); a stuck day is quarantined, not waited for")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics.json, /debug/vars and /debug/pprof/ on this address while the run is in flight (empty disables)")
 	flag.Parse()
 
 	if *resume && *ckptDir == "" {
@@ -86,11 +88,22 @@ func run() (err error) {
 		cfg.Attacks.TotalAttacks = *attacks
 	}
 
+	reg := obs.New()
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "joinpipe: observability on http://%s/metrics.json\n", ms.Addr())
+	}
+
 	start := time.Now()
 	s, err := study.RunContext(ctx, cfg, study.Options{
 		CheckpointDir: *ckptDir,
 		Resume:        *resume,
 		ShardTimeout:  *shardTimeout,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return err

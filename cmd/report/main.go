@@ -8,7 +8,7 @@
 // Usage:
 //
 //	report [-quick] [-domains N] [-attacks N] [-outdir DIR] [-config FILE]
-//	       [-checkpoint DIR] [-resume]
+//	       [-checkpoint DIR] [-resume] [-metrics-addr :9090]
 package main
 
 import (
@@ -25,6 +25,7 @@ import (
 
 	"dnsddos/internal/core"
 	"dnsddos/internal/nsset"
+	"dnsddos/internal/obs"
 	"dnsddos/internal/report"
 	"dnsddos/internal/study"
 )
@@ -45,6 +46,7 @@ func run() error {
 	configPath := flag.String("config", "", "JSON study configuration (overrides -quick)")
 	ckptDir := flag.String("checkpoint", "", "checkpoint directory: persist each completed day-sweep")
 	resume := flag.Bool("resume", false, "resume from the checkpoints in -checkpoint instead of day 0")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics.json, /debug/vars and /debug/pprof/ on this address while the run is in flight (empty disables)")
 	flag.Parse()
 
 	if *resume && *ckptDir == "" {
@@ -81,8 +83,18 @@ func run() error {
 		cfg.Attacks.TotalAttacks = *attacks
 	}
 
+	reg := obs.New()
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "report: observability on http://%s/metrics.json\n", ms.Addr())
+	}
+
 	start := time.Now()
-	s, err := study.RunContext(ctx, cfg, study.Options{CheckpointDir: *ckptDir, Resume: *resume})
+	s, err := study.RunContext(ctx, cfg, study.Options{CheckpointDir: *ckptDir, Resume: *resume, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -193,5 +205,6 @@ func exportCSVs(dir string, s *study.Study) error {
 	write("figure11.csv", func(w io.Writer) { report.Groups(w, "Figure 11", core.ImpactByAnycast(s.Events)) })
 	write("figure12.csv", func(w io.Writer) { report.Groups(w, "Figure 12", core.ImpactByASDiversity(s.Events)) })
 	write("figure13.csv", func(w io.Writer) { report.Groups(w, "Figure 13", core.ImpactByPrefixDiversity(s.Events)) })
+	write("metrics.json", func(w io.Writer) { s.Metrics.Snapshot().WriteJSON(w) })
 	return firstErr
 }

@@ -10,6 +10,14 @@
 //	      [-overload drop|servfail|tc] [-rrl-rps N] [-rrl-slip N]
 //	      [-fault-drop P] [-fault-latency DUR] [-fault-jitter DUR]
 //	      [-fault-dup P] [-fault-corrupt P] [-fault-start DUR -fault-window DUR]
+//	      [-metrics-addr :9090]
+//
+// -metrics-addr exposes the server's live counters and latency
+// histograms as /metrics.json, the expvar bridge at /debug/vars, and
+// net/http/pprof under /debug/pprof/ — watch shed/RRL verdicts and
+// per-query latency quantiles mid-flood with:
+//
+//	curl -s http://127.0.0.1:9090/metrics.json
 //
 // The -fault-* flags emulate a DDoS attack window netem-style on the
 // server's own UDP listener; with -fault-start/-fault-window the faults
@@ -34,6 +42,7 @@ import (
 
 	"dnsddos/internal/authserver"
 	"dnsddos/internal/faultinject"
+	"dnsddos/internal/obs"
 	"dnsddos/internal/scenario"
 )
 
@@ -57,6 +66,7 @@ func main() {
 	fStart := flag.Duration("fault-start", 0, "with -fault-window: engage faults this long after start")
 	fWindow := flag.Duration("fault-window", 0, "fault window length (0 = faults hold indefinitely)")
 	fSeed := flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics.json, /debug/vars and /debug/pprof/ on this address (empty disables)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
@@ -139,6 +149,15 @@ func main() {
 	if err != nil {
 		logger.Error("starting server", "err", err)
 		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, srv.Metrics())
+		if err != nil {
+			logger.Error("starting metrics endpoint", "err", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("observability on http://%s/metrics.json (also /debug/vars, /debug/pprof/)\n", ms.Addr())
 	}
 	fmt.Printf("authoritative DNS serving on %s (UDP+TCP)\ntry: dig @%s -p %s mil.ru NS\n",
 		bound, hostOf(bound), portOf(bound))

@@ -26,9 +26,20 @@ import (
 	"dnsddos/internal/dnsload"
 	"dnsddos/internal/dnswire"
 	"dnsddos/internal/faultinject"
+	"dnsddos/internal/obs"
 	"dnsddos/internal/resolver"
 	"dnsddos/internal/scenario"
 )
+
+// histLine renders one obs histogram snapshot as a fixed-width line.
+func histLine(h obs.HistogramSnapshot) string {
+	return fmt.Sprintf("count=%5d  p50 %8s  p90 %8s  p99 %8s  max %8s",
+		h.Count,
+		time.Duration(h.P50NS).Round(time.Microsecond),
+		time.Duration(h.P90NS).Round(time.Microsecond),
+		time.Duration(h.P99NS).Round(time.Microsecond),
+		time.Duration(h.MaxNS).Round(time.Microsecond))
+}
 
 func main() {
 	cfg := scenario.DefaultWorldConfig()
@@ -130,7 +141,14 @@ func main() {
 	// through the window — at inflated RTT — which is exactly the
 	// paper's observation for victims that kept some capacity.
 	fmt.Println("\nattack window (loss 40%, +3ms±2ms on the server listener):")
+	// each phase observes into its own obs registry, so the three RTT
+	// distributions stay separable — the per-phase histograms the paper's
+	// Fig. 4 narrative needs
+	phaseOrder := []string{"baseline", "attack", "recovered"}
+	phaseRegs := make(map[string]*obs.Registry, len(phaseOrder))
 	loadPhase := func(label string) *dnsload.Result {
+		reg := obs.New()
+		phaseRegs[label] = reg
 		r, err := dnsload.Run(ctx, dnsload.Config{
 			Addr:        addr,
 			Names:       names,
@@ -138,6 +156,7 @@ func main() {
 			TargetQPS:   400,
 			Duration:    1500 * time.Millisecond,
 			Timeout:     500 * time.Millisecond,
+			Metrics:     reg,
 		})
 		if err != nil {
 			log.Fatalf("%s load run: %v", label, err)
@@ -168,13 +187,26 @@ func main() {
 			float64(recovered.MeanLatency())/float64(b))
 	}
 
+	// per-phase client-side RTT distributions from the obs layer, next to
+	// the server's own latency histogram over the whole run
+	fmt.Println("\n  per-phase RTT histograms (dnsload.rtt):")
+	for _, label := range phaseOrder {
+		h := phaseRegs[label].Snapshot().Histograms["dnsload.rtt"]
+		fmt.Printf("  %-9s %s\n", label, histLine(h))
+	}
+	if h, ok := srv.Metrics().Snapshot().Histograms["authserver.udp_latency"]; ok {
+		fmt.Printf("  %-9s %s (authserver.udp_latency, all phases)\n", "server", histLine(h))
+	}
+
 	// a retrying stub through the same window: the LiveResolver absorbs
 	// the loss with per-try timeouts and retries, trading RTT for success
 	inj.SetProfile(faultinject.Profile{Drop: 0.4, Latency: 3 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	lreg := obs.New()
 	lr := resolver.NewLiveResolver(resolver.LiveConfig{
 		PerTryTimeout: 300 * time.Millisecond,
 		MaxTries:      4,
 		Backoff:       20 * time.Millisecond,
+		Metrics:       lreg,
 	}, nil)
 	okCount, totalTries := 0, 0
 	var totalRTT time.Duration
@@ -194,5 +226,12 @@ func main() {
 			(totalRTT / time.Duration(okCount)).Round(time.Microsecond))
 	} else {
 		fmt.Printf("  live resolver through the window: 0/%d resolved\n", probes)
+	}
+	lsnap := lreg.Snapshot()
+	if h, ok := lsnap.Histograms["resolver.live.try_rtt"]; ok {
+		fmt.Printf("  per-try RTT through the window: %s (tries=%d timeouts=%d)\n",
+			histLine(h),
+			lsnap.Counters["resolver.live.tries"],
+			lsnap.Counters["resolver.live.try_timeouts"])
 	}
 }

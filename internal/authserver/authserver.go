@@ -32,6 +32,7 @@ import (
 	"dnsddos/internal/dnsdb"
 	"dnsddos/internal/dnswire"
 	"dnsddos/internal/netx"
+	"dnsddos/internal/obs"
 )
 
 // Zone is the record store the server answers from.
@@ -204,6 +205,47 @@ func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
 	return OverloadDrop, fmt.Errorf("unknown overload policy %q (want drop, servfail, or tc)", s)
 }
 
+// serverMetrics is the server's registry-backed instrumentation: the
+// traffic counters behind the public Stats snapshot plus the per-query
+// latency histograms, all living in one obs.Registry so cmd/serve can
+// export them over HTTP while the server runs.
+type serverMetrics struct {
+	udpReceived   *obs.Counter
+	udpAnswered   *obs.Counter
+	udpDropped    *obs.Counter
+	shedServFail  *obs.Counter
+	shedTruncated *obs.Counter
+	rrlDropped    *obs.Counter
+	rrlSlipped    *obs.Counter
+	udpMalformed  *obs.Counter
+	tcpAccepted   *obs.Counter
+	tcpRejected   *obs.Counter
+	tcpQueries    *obs.Counter
+	// udpLatency spans read-off-the-socket to response written (queue
+	// wait + decode + answer + encode + artificial delay); tcpLatency
+	// spans one framed exchange.
+	udpLatency *obs.Histogram
+	tcpLatency *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		udpReceived:   reg.Counter("authserver.udp_received"),
+		udpAnswered:   reg.Counter("authserver.udp_answered"),
+		udpDropped:    reg.Counter("authserver.udp_dropped"),
+		shedServFail:  reg.Counter("authserver.udp_shed_servfail"),
+		shedTruncated: reg.Counter("authserver.udp_shed_truncated"),
+		rrlDropped:    reg.Counter("authserver.rrl_dropped"),
+		rrlSlipped:    reg.Counter("authserver.rrl_slipped"),
+		udpMalformed:  reg.Counter("authserver.udp_malformed"),
+		tcpAccepted:   reg.Counter("authserver.tcp_accepted"),
+		tcpRejected:   reg.Counter("authserver.tcp_rejected"),
+		tcpQueries:    reg.Counter("authserver.tcp_queries"),
+		udpLatency:    reg.Histogram("authserver.udp_latency"),
+		tcpLatency:    reg.Histogram("authserver.tcp_latency"),
+	}
+}
+
 // Stats is a snapshot of the server's traffic counters.
 type Stats struct {
 	// UDPReceived counts datagrams read off the UDP socket.
@@ -280,26 +322,31 @@ type Server struct {
 	closing atomic.Bool
 	rrl     *rrlLimiter
 
-	udpReceived   atomic.Int64
-	udpAnswered   atomic.Int64
-	udpDropped    atomic.Int64
-	shedServFail  atomic.Int64
-	shedTruncated atomic.Int64
-	rrlDropped    atomic.Int64
-	rrlSlipped    atomic.Int64
-	udpMalformed  atomic.Int64
-	tcpAccepted   atomic.Int64
-	tcpRejected   atomic.Int64
-	tcpQueries    atomic.Int64
+	reg *obs.Registry
+	m   serverMetrics
 }
 
-// NewServer builds a server for the zone. logger may be nil.
+// NewServer builds a server for the zone. logger may be nil. The server
+// owns a private obs.Registry (see Metrics) backing both the Stats
+// snapshot and the latency histograms.
 func NewServer(zone *Zone, logger *slog.Logger) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Server{zone: zone, log: logger, conns: make(map[net.Conn]struct{})}
+	reg := obs.New()
+	return &Server{
+		zone:  zone,
+		log:   logger,
+		conns: make(map[net.Conn]struct{}),
+		reg:   reg,
+		m:     newServerMetrics(reg),
+	}
 }
+
+// Metrics returns the server's metric registry — the authserver.*
+// counters behind Stats plus the udp/tcp latency histograms — for
+// export over HTTP (obs.Serve) or embedding in a larger registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // SetDelay sets the artificial per-answer delay. Safe to call while the
 // server is running; in-flight answers use the value read at dispatch.
@@ -308,27 +355,31 @@ func (s *Server) SetDelay(d time.Duration) { s.delay.Store(int64(d)) }
 // Delay returns the current artificial per-answer delay.
 func (s *Server) Delay() time.Duration { return time.Duration(s.delay.Load()) }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters. The values are read
+// from the same registry-backed counters /metrics.json exports, so the
+// two views always agree.
 func (s *Server) Stats() Stats {
 	return Stats{
-		UDPReceived:      s.udpReceived.Load(),
-		UDPAnswered:      s.udpAnswered.Load(),
-		UDPDropped:       s.udpDropped.Load(),
-		UDPShedServFail:  s.shedServFail.Load(),
-		UDPShedTruncated: s.shedTruncated.Load(),
-		RRLDropped:       s.rrlDropped.Load(),
-		RRLSlipped:       s.rrlSlipped.Load(),
-		UDPMalformed:     s.udpMalformed.Load(),
-		TCPAccepted:      s.tcpAccepted.Load(),
-		TCPRejected:      s.tcpRejected.Load(),
-		TCPQueries:       s.tcpQueries.Load(),
+		UDPReceived:      s.m.udpReceived.Load(),
+		UDPAnswered:      s.m.udpAnswered.Load(),
+		UDPDropped:       s.m.udpDropped.Load(),
+		UDPShedServFail:  s.m.shedServFail.Load(),
+		UDPShedTruncated: s.m.shedTruncated.Load(),
+		RRLDropped:       s.m.rrlDropped.Load(),
+		RRLSlipped:       s.m.rrlSlipped.Load(),
+		UDPMalformed:     s.m.udpMalformed.Load(),
+		TCPAccepted:      s.m.tcpAccepted.Load(),
+		TCPRejected:      s.m.tcpRejected.Load(),
+		TCPQueries:       s.m.tcpQueries.Load(),
 	}
 }
 
-// udpJob is one datagram handed from a reader to the worker pool.
+// udpJob is one datagram handed from a reader to the worker pool. start
+// is the read timestamp, anchoring the per-query latency observation.
 type udpJob struct {
-	wire *[]byte
-	peer net.Addr
+	wire  *[]byte
+	peer  net.Addr
+	start time.Time
 }
 
 // bufPool recycles per-datagram copies between readers and workers.
@@ -425,13 +476,13 @@ func (s *Server) readUDP(conn net.PacketConn, jobs chan<- udpJob, readerWG *sync
 		if err != nil {
 			return // closed
 		}
-		s.udpReceived.Add(1)
+		s.m.udpReceived.Inc()
 		wire := bufPool.Get().(*[]byte)
 		*wire = append((*wire)[:0], buf[:n]...)
 		select {
-		case jobs <- udpJob{wire: wire, peer: peer}:
+		case jobs <- udpJob{wire: wire, peer: peer, start: time.Now()}:
 		default:
-			s.udpDropped.Add(1)
+			s.m.udpDropped.Inc()
 			s.shedReflex(conn, *wire, peer)
 			bufPool.Put(wire)
 		}
@@ -447,12 +498,12 @@ func (s *Server) shedReflex(conn net.PacketConn, wire []byte, peer net.Addr) {
 	case OverloadServFail:
 		if out := reflexResponse(wire, dnswire.RCodeServFail, false); out != nil {
 			conn.WriteTo(out, peer)
-			s.shedServFail.Add(1)
+			s.m.shedServFail.Inc()
 		}
 	case OverloadTruncate:
 		if out := reflexResponse(wire, dnswire.RCodeNoError, true); out != nil {
 			conn.WriteTo(out, peer)
-			s.shedTruncated.Add(1)
+			s.m.shedTruncated.Inc()
 		}
 	}
 }
@@ -492,14 +543,14 @@ func (s *Server) udpWorker(conn net.PacketConn, jobs <-chan udpJob) {
 			// answer is built: a limited query costs no encode work.
 			switch s.rrl.account(peer, time.Now()) {
 			case rrlDrop:
-				s.rrlDropped.Add(1)
+				s.m.rrlDropped.Inc()
 				bufPool.Put(job.wire)
 				continue
 			case rrlSlip:
 				if out := reflexResponse(*job.wire, dnswire.RCodeNoError, true); out != nil {
 					conn.WriteTo(out, peer)
 				}
-				s.rrlSlipped.Add(1)
+				s.m.rrlSlipped.Inc()
 				bufPool.Put(job.wire)
 				continue
 			}
@@ -507,7 +558,7 @@ func (s *Server) udpWorker(conn net.PacketConn, jobs <-chan udpJob) {
 		resp, err := s.handleUDP(*job.wire)
 		bufPool.Put(job.wire)
 		if err != nil {
-			s.udpMalformed.Add(1)
+			s.m.udpMalformed.Inc()
 			s.log.Debug("authserver: bad query", "peer", peer, "err", err)
 			continue
 		}
@@ -518,7 +569,8 @@ func (s *Server) udpWorker(conn net.PacketConn, jobs <-chan udpJob) {
 			s.log.Debug("authserver: udp write", "peer", peer, "err", err)
 			continue
 		}
-		s.udpAnswered.Add(1)
+		s.m.udpAnswered.Inc()
+		s.m.udpLatency.Observe(time.Since(job.start))
 	}
 }
 
@@ -584,11 +636,11 @@ func (s *Server) serveTCP(l net.Listener, maxConns int) {
 		select {
 		case sem <- struct{}{}:
 		default:
-			s.tcpRejected.Add(1)
+			s.m.tcpRejected.Inc()
 			c.Close()
 			continue
 		}
-		s.tcpAccepted.Add(1)
+		s.m.tcpAccepted.Inc()
 		if s.WrapTCP != nil {
 			c = s.WrapTCP(c)
 		}
@@ -627,6 +679,7 @@ func (s *Server) serveTCPConn(c net.Conn) {
 		if _, err := io.ReadFull(c, msg); err != nil {
 			return
 		}
+		start := time.Now()
 		resp, err := s.handleTCP(msg)
 		if err != nil {
 			return
@@ -640,7 +693,8 @@ func (s *Server) serveTCPConn(c net.Conn) {
 		if _, err := c.Write(out); err != nil {
 			return
 		}
-		s.tcpQueries.Add(1)
+		s.m.tcpQueries.Inc()
+		s.m.tcpLatency.Observe(time.Since(start))
 	}
 }
 

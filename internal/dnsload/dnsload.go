@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dnsddos/internal/dnswire"
+	"dnsddos/internal/obs"
 	"dnsddos/internal/stats"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	// the client-side fault-injection hook (e.g. a closure over
 	// faultinject.WrapDatagram for UDP or WrapStream for TCP).
 	Wrap func(net.Conn) net.Conn
+	// Metrics, when non-nil, receives live per-query observations under
+	// dnsload.* names (rtt histogram plus sent/received/failure-class
+	// counters) so a -metrics-addr endpoint can watch a run mid-flight.
+	// The final Result carries the same totals either way.
+	Metrics *obs.Registry
 }
 
 // Result aggregates a finished run.
@@ -182,6 +188,32 @@ type senderResult struct {
 	latencies                        []float64
 }
 
+// loadMetrics mirrors the senderResult tallies into a registry as the
+// run progresses. All fields no-op when Config.Metrics is nil.
+type loadMetrics struct {
+	sent       *obs.Counter
+	received   *obs.Counter
+	timeouts   *obs.Counter
+	dialErrs   *obs.Counter
+	decodeErrs *obs.Counter
+	errors     *obs.Counter
+	truncated  *obs.Counter
+	rtt        *obs.Histogram
+}
+
+func newLoadMetrics(reg *obs.Registry) loadMetrics {
+	return loadMetrics{
+		sent:       reg.Counter("dnsload.sent"),
+		received:   reg.Counter("dnsload.received"),
+		timeouts:   reg.Counter("dnsload.timeouts"),
+		dialErrs:   reg.Counter("dnsload.dial_errors"),
+		decodeErrs: reg.Counter("dnsload.decode_errors"),
+		errors:     reg.Counter("dnsload.errors"),
+		truncated:  reg.Counter("dnsload.truncated"),
+		rtt:        reg.Histogram("dnsload.rtt"),
+	}
+}
+
 // failKind classifies one failed query.
 type failKind int
 
@@ -250,6 +282,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return true
 	}
 
+	m := newLoadMetrics(cfg.Metrics)
+	cfg.Metrics.Gauge("dnsload.concurrency").Set(int64(conc))
 	results := make([]senderResult, conc)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -265,6 +299,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				interval: interval,
 				id:       uint16(idx+1) << 8,
 				res:      &results[idx],
+				m:        m,
 				next:     next,
 				ctx:      runCtx,
 			}
@@ -301,6 +336,7 @@ type sender struct {
 	interval time.Duration
 	id       uint16
 	res      *senderResult
+	m        loadMetrics
 	next     func() bool
 	ctx      context.Context
 
@@ -325,13 +361,17 @@ func (s *sender) run() {
 		case failNone:
 		case failDial:
 			s.res.dialErrs++
+			s.m.dialErrs.Inc()
 		case failTimeout:
 			s.res.timeouts++
+			s.m.timeouts.Inc()
 		case failDecode:
 			s.res.decodeErrs++
+			s.m.decodeErrs.Inc()
 			s.redialTCP()
 		default:
 			s.res.errors++
+			s.m.errors.Inc()
 			s.redialTCP()
 		}
 	}
@@ -400,6 +440,7 @@ func (s *sender) oneQuery(name string) failKind {
 		return classifyErr(err, false)
 	}
 	s.res.sent++
+	s.m.sent.Inc()
 	sawGarbage := false
 	for {
 		var payload []byte
@@ -430,11 +471,15 @@ func (s *sender) oneQuery(name string) failKind {
 		if !m.Header.Response || m.Header.ID != s.id {
 			continue // stale answer to an earlier timed-out query
 		}
+		rtt := time.Since(start)
 		s.res.received++
-		s.res.latencies = append(s.res.latencies, time.Since(start).Seconds())
+		s.m.received.Inc()
+		s.res.latencies = append(s.res.latencies, rtt.Seconds())
+		s.m.rtt.Observe(rtt)
 		s.res.rcodes[m.Header.RCode]++
 		if m.Header.Truncated {
 			s.res.truncated++
+			s.m.truncated.Inc()
 		}
 		return failNone
 	}

@@ -31,6 +31,26 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 0, 0, 1})
 	f.Add(bytes.Repeat([]byte{0xc0}, 64)) // pointer storms
 
+	// EDNS seeds. An OPT pseudo-RR with zero-length RDATA is the common
+	// case on the wire (root owner, type 41, class = payload size,
+	// RDLENGTH 0) — exactly what AttachEDNS emits:
+	eq := NewQuery(3, "edns.example", TypeNS)
+	eq.AttachEDNS(EDNS{UDPPayload: 4096, DO: true}) // >512 advertisement
+	ewire, err := Encode(eq)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ewire)
+	// duplicate OPT: RFC 6891 allows at most one, but attackers send what
+	// they like — append a second handcrafted zero-RDATA OPT (root name,
+	// type 41, class 512, TTL 0, RDLEN 0) and bump ARCOUNT.
+	opt := []byte{0, 0, 41, 2, 0, 0, 0, 0, 0, 0, 0}
+	dup := append(append([]byte{}, ewire...), opt...)
+	dup[11]++ // ARCOUNT (big-endian at header bytes 10–11; count stays < 255)
+	f.Add(dup)
+	// truncated OPT: the same record cut mid-fixed-fields
+	f.Add(append(append([]byte{}, ewire...), opt[:5]...))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {
@@ -70,6 +90,54 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 		}
 		if len(got.Questions) != 1 || got.Questions[0].Name != CanonicalName(name) {
 			t.Fatalf("question changed: %q → %q", CanonicalName(name), got.Questions[0].Name)
+		}
+	})
+}
+
+// FuzzResponseRoundTrip fuzzes the responses the authoritative server's
+// reflex paths emit — truncated referrals, SERVFAIL sheds, RRL slips —
+// including the EDNS echo: header flags, the rcode, and the OPT record
+// must all survive Encode → Decode unchanged.
+func FuzzResponseRoundTrip(f *testing.F) {
+	f.Add(uint16(1), "example.com", uint16(1232), true, uint8(0), false)
+	f.Add(uint16(77), "shed.example", uint16(0), false, uint8(2), true) // SERVFAIL shed
+	f.Add(uint16(0xffff), "slip.example.nl", uint16(65535), true, uint8(5), true)
+	f.Fuzz(func(t *testing.T, id uint16, name string, payload uint16, tc bool, rcode uint8, do bool) {
+		rcode &= 0x0f // the header field is four bits wide
+		msg := &Message{
+			Header: Header{
+				ID:            id,
+				Response:      true,
+				Authoritative: true,
+				Truncated:     tc,
+				RCode:         RCode(rcode),
+			},
+			Questions: []Question{{Name: CanonicalName(name), Type: TypeNS, Class: ClassIN}},
+		}
+		msg.AttachEDNS(EDNS{UDPPayload: payload, DO: do})
+		wire, err := Encode(msg)
+		if err != nil {
+			return // encoder rejected the name; fine
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if got.Header.ID != id || !got.Header.Response || !got.Header.Authoritative {
+			t.Fatalf("header identity changed: %+v", got.Header)
+		}
+		if got.Header.Truncated != tc {
+			t.Fatalf("TC bit changed: %v → %v", tc, got.Header.Truncated)
+		}
+		if got.Header.RCode != RCode(rcode) {
+			t.Fatalf("rcode changed: %d → %d", rcode, got.Header.RCode)
+		}
+		e, ok := got.EDNS()
+		if !ok {
+			t.Fatal("EDNS OPT record lost in round trip")
+		}
+		if e.UDPPayload != payload || e.DO != do {
+			t.Fatalf("EDNS changed: payload %d→%d DO %v→%v", payload, e.UDPPayload, do, e.DO)
 		}
 	})
 }

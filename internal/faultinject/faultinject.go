@@ -42,12 +42,27 @@ type Profile struct {
 	// Corrupt is the probability one random byte of the payload is
 	// bit-flipped.
 	Corrupt float64
+	// Truncate is the probability an inbound datagram is delivered cut
+	// short below the 12-byte DNS header (to truncateLen bytes), so the
+	// wrapped endpoint receives a payload that cannot decode — a
+	// deterministic decode failure where Corrupt's single bit-flip may
+	// land in a don't-care byte. It applies only to reads (datagrams
+	// arriving at the wrapped endpoint): a client wrapper truncates
+	// answers, a server listener truncates queries. Stream wrappers
+	// ignore it — cutting bytes out of a TCP stream would desync the
+	// length-prefixed framing, not model datagram truncation.
+	Truncate float64
 }
+
+// truncateLen is what remains of a truncated datagram: shorter than the
+// 12-byte DNS header, so decoding always fails, but non-empty, so the
+// read still delivers.
+const truncateLen = 7
 
 // Active reports whether the profile injects any fault at all.
 func (p Profile) Active() bool {
 	return p.Drop > 0 || p.Latency > 0 || p.Jitter > 0 ||
-		p.Duplicate > 0 || p.Reorder > 0 || p.Corrupt > 0
+		p.Duplicate > 0 || p.Reorder > 0 || p.Corrupt > 0 || p.Truncate > 0
 }
 
 // Phase is one step of a Schedule: from Start (an offset from engagement)
@@ -164,6 +179,7 @@ type verdict struct {
 	duplicate bool
 	reorder   bool
 	corrupt   bool
+	truncate  bool
 	delay     time.Duration
 }
 
@@ -188,6 +204,9 @@ func (inj *Injector) roll() verdict {
 	}
 	if p.Corrupt > 0 && inj.rng.Float64() < p.Corrupt {
 		v.corrupt = true
+	}
+	if p.Truncate > 0 && inj.rng.Float64() < p.Truncate {
+		v.truncate = true
 	}
 	v.delay = p.Latency
 	if p.Jitter > 0 {

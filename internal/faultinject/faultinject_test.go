@@ -267,3 +267,44 @@ func TestDatagramConnFaults(t *testing.T) {
 		t.Fatal("with drop=1 the echo must never arrive")
 	}
 }
+
+// TestTruncateReadsOnly: Truncate cuts inbound datagrams below the DNS
+// header so they can never decode, and leaves outbound datagrams whole —
+// truncating a query on the way out would turn a decode fault into
+// silent loss at the far end.
+func TestTruncateReadsOnly(t *testing.T) {
+	payload := []byte("0123456789abcdef") // 16 bytes, > truncateLen
+	fc := &fakePacketConn{inbox: [][]byte{append([]byte(nil), payload...)}}
+	inj := New(1)
+	inj.SetProfile(Profile{Truncate: 1})
+	pc := WrapPacketConn(fc, inj)
+
+	buf := make([]byte, 64)
+	n, _, err := pc.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != truncateLen {
+		t.Errorf("truncated read delivered %d bytes, want %d", n, truncateLen)
+	}
+	if n >= 12 {
+		t.Error("a truncated datagram must be shorter than a DNS header")
+	}
+	if !bytes.Equal(buf[:n], payload[:n]) {
+		t.Error("truncation must cut, not rewrite, the prefix")
+	}
+
+	if _, err := pc.WriteTo(payload, fakeAddr("x")); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.outbox) != 1 || !bytes.Equal(fc.outbox[0], payload) {
+		t.Errorf("outbound datagram altered under Truncate: %q", fc.outbox)
+	}
+
+	// short datagrams pass through whole — there is nothing left to cut
+	fc.inbox = [][]byte{[]byte("abc")}
+	n, _, err = pc.ReadFrom(buf)
+	if err != nil || n != 3 {
+		t.Errorf("short datagram: n=%d err=%v, want 3 bytes intact", n, err)
+	}
+}

@@ -51,6 +51,9 @@ func (c *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
 		if v.drop {
 			continue
 		}
+		if v.truncate && n > truncateLen {
+			n = truncateLen
+		}
 		if v.corrupt {
 			c.inj.corruptByte(b[:n])
 		}
@@ -141,6 +144,9 @@ func (c *DatagramConn) Read(b []byte) (int, error) {
 		v := c.inj.roll()
 		if v.drop {
 			continue
+		}
+		if v.truncate && n > truncateLen {
+			n = truncateLen
 		}
 		if v.corrupt {
 			c.inj.corruptByte(b[:n])

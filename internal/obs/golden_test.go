@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// golden_test.go pins the deterministic JSON snapshot encoding: a fixed
+// sequence of observations must marshal to byte-identical output on
+// every run and platform. Regenerate with:
+//
+//	go test ./internal/obs/ -run TestSnapshotGolden -update
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with a fixed observation set covering
+// every metric kind, several buckets, and the overflow bucket.
+func goldenRegistry() *Registry {
+	r := New()
+	r.Counter("authserver.udp_received").Add(1234)
+	r.Counter("authserver.udp_dropped").Add(56)
+	r.Gauge("dnsload.concurrency").Set(16)
+	h := r.Histogram("authserver.udp_latency")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i*i) * time.Microsecond)
+	}
+	h.Observe(2 * time.Minute) // overflow bucket
+	r.Histogram("resolver.live.rtt").Observe(850 * time.Millisecond)
+	// volatile metrics must not appear in the stable snapshot
+	r.Gauge("study.stage.join_wall_ns", Volatile()).Set(987654321)
+	return r
+}
+
+func TestSnapshotGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().StableSnapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "registry.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("snapshot drifted from golden file (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSnapshotEncodingDeterministic encodes the same observation
+// sequence twice — including a full marshal of two independently built
+// registries — and requires byte equality.
+func TestSnapshotEncodingDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenRegistry().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical registries encoded to different bytes")
+	}
+}

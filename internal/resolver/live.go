@@ -19,6 +19,7 @@ import (
 
 	"dnsddos/internal/dnswire"
 	"dnsddos/internal/nsset"
+	"dnsddos/internal/obs"
 )
 
 // LiveConfig tunes the live resolver. The zero value resolves with the
@@ -48,6 +49,10 @@ type LiveConfig struct {
 	Wrap func(net.Conn) net.Conn
 	// WrapTCP wraps fallback TCP connections.
 	WrapTCP func(net.Conn) net.Conn
+	// Metrics, when non-nil, receives per-try RTTs and retry/fallback
+	// outcome counts under resolver.live.* names. Nil disables
+	// instrumentation at the cost of one branch per observation.
+	Metrics *obs.Registry
 }
 
 // DefaultLiveConfig mirrors a conservative unbound setup, matching the
@@ -88,9 +93,43 @@ type LiveOutcome struct {
 // backoff. It is safe for concurrent use.
 type LiveResolver struct {
 	cfg LiveConfig
+	m   liveMetrics
 
 	mu  sync.Mutex
 	rng *rand.Rand
+}
+
+// liveMetrics instruments the live resolution path: one histogram per
+// attempt (tryRTT, successes and failures alike — the time each try
+// burned) and one per completed resolution (rtt, the cumulative Eq. 1
+// RTT on success), plus counters classifying tries and final outcomes.
+// All fields are nil (no-ops) when LiveConfig.Metrics is nil.
+type liveMetrics struct {
+	tries        *obs.Counter
+	tryTimeouts  *obs.Counter
+	tryServFails *obs.Counter
+	tryErrors    *obs.Counter
+	tcpFallbacks *obs.Counter
+	ok           *obs.Counter
+	servfail     *obs.Counter
+	timeout      *obs.Counter
+	tryRTT       *obs.Histogram
+	rtt          *obs.Histogram
+}
+
+func newLiveMetrics(reg *obs.Registry) liveMetrics {
+	return liveMetrics{
+		tries:        reg.Counter("resolver.live.tries"),
+		tryTimeouts:  reg.Counter("resolver.live.try_timeouts"),
+		tryServFails: reg.Counter("resolver.live.try_servfails"),
+		tryErrors:    reg.Counter("resolver.live.try_errors"),
+		tcpFallbacks: reg.Counter("resolver.live.tcp_fallbacks"),
+		ok:           reg.Counter("resolver.live.resolved_ok"),
+		servfail:     reg.Counter("resolver.live.resolved_servfail"),
+		timeout:      reg.Counter("resolver.live.resolved_timeout"),
+		tryRTT:       reg.Histogram("resolver.live.try_rtt"),
+		rtt:          reg.Histogram("resolver.live.rtt"),
+	}
 }
 
 // NewLiveResolver builds a live resolver. rng drives shuffle order and
@@ -113,7 +152,7 @@ func NewLiveResolver(cfg LiveConfig, rng *rand.Rand) *LiveResolver {
 			binary.LittleEndian.Uint64(seed[:8]),
 			binary.LittleEndian.Uint64(seed[8:])))
 	}
-	return &LiveResolver{cfg: cfg, rng: rng}
+	return &LiveResolver{cfg: cfg, m: newLiveMetrics(cfg.Metrics), rng: rng}
 }
 
 // tryStatus classifies one attempt.
@@ -162,24 +201,41 @@ func (r *LiveResolver) Resolve(ctx context.Context, addrs []string, name string,
 		addr := order[i%len(order)]
 		last = addr
 		tries++
+		r.m.tries.Inc()
+		tryStart := time.Now()
 		msg, usedTCP, st := r.tryOnce(ctx, client, addr, name, qtype)
+		r.m.tryRTT.Observe(time.Since(tryStart))
+		if usedTCP {
+			r.m.tcpFallbacks.Inc()
+		}
 		switch st {
 		case tryOK:
+			rtt := time.Since(start)
+			r.m.ok.Inc()
+			r.m.rtt.Observe(rtt)
 			return LiveOutcome{
 				Status:  nsset.StatusOK,
-				RTT:     time.Since(start),
+				RTT:     rtt,
 				Tries:   tries,
 				Server:  addr,
 				UsedTCP: usedTCP,
 				Msg:     msg,
 			}
 		case tryServFail:
+			r.m.tryServFails.Inc()
 			sawServFail = true
+		case tryTimeout:
+			r.m.tryTimeouts.Inc()
+		case tryOther:
+			r.m.tryErrors.Inc()
 		}
 	}
 	st := nsset.StatusTimeout
 	if sawServFail {
 		st = nsset.StatusServFail
+		r.m.servfail.Inc()
+	} else {
+		r.m.timeout.Inc()
 	}
 	return LiveOutcome{Status: st, Tries: tries, Server: last}
 }

@@ -1,0 +1,111 @@
+package study
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnsddos/internal/obs"
+)
+
+// metrics_golden_test.go pins the determinism contract of
+// RunReport.Metrics: the stable snapshot a seeded run embeds must be
+// byte-identical across runs (the simulated data plane is seeded and
+// the shard merge is commutative), and must match the checked-in
+// golden file. Regenerate with:
+//
+//	go test ./internal/study/ -run TestRunMetrics -update
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// metricsConfig is a small seeded run with real sweep work: a few days
+// around the TransIP December attack, sharded to exercise the
+// merge-on-completion path.
+func metricsConfig() Config {
+	cfg := QuickConfig()
+	cfg.World.Domains = 1500
+	cfg.Attacks.TotalAttacks = 1500
+	cfg.FromDay, cfg.ToDay = 27, 29
+	cfg.Parallelism = 4
+	return cfg
+}
+
+func stableMetricsBytes(t *testing.T, s *Study) []byte {
+	t.Helper()
+	if s.Report.Metrics == nil {
+		t.Fatal("RunReport.Metrics is nil after a completed run")
+	}
+	var buf bytes.Buffer
+	if err := s.Report.Metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunMetricsByteIdenticalAcrossRuns runs the same seeded config
+// twice — with shards completing in whatever order the scheduler
+// produces — and requires the embedded stable snapshots to encode to
+// the same bytes.
+func TestRunMetricsByteIdenticalAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := metricsConfig()
+	a, err := RunContext(context.Background(), cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg, Options{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, bb := stableMetricsBytes(t, a), stableMetricsBytes(t, b)
+	if !bytes.Equal(ab, bb) {
+		t.Errorf("two seeded runs embedded different metric snapshots\nfirst:\n%s\nsecond:\n%s", ab, bb)
+	}
+	snap := a.Report.Metrics
+	if snap.Counters["study.sweep.ok"] == 0 {
+		t.Error("stable snapshot has no successful sweeps — the run did no work")
+	}
+	if snap.Histograms["study.sweep.rtt"].Count != snap.Counters["study.sweep.ok"] {
+		t.Errorf("sweep RTT histogram count %d != ok counter %d",
+			snap.Histograms["study.sweep.rtt"].Count, snap.Counters["study.sweep.ok"])
+	}
+	for name := range snap.Gauges {
+		t.Errorf("volatile wall-clock gauge %q leaked into the stable snapshot", name)
+	}
+}
+
+// TestRunMetricsGolden pins the exact stable snapshot of the seeded
+// metricsConfig run against a checked-in golden file, so accidental
+// changes to the data plane, the sweep engine, or the snapshot encoding
+// show up as a diff.
+func TestRunMetricsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	s, err := RunContext(context.Background(), metricsConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stableMetricsBytes(t, s)
+	path := filepath.Join("testdata", "metrics.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("run metrics drifted from golden file (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

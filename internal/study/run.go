@@ -17,6 +17,7 @@ import (
 	"dnsddos/internal/clock"
 	"dnsddos/internal/core"
 	"dnsddos/internal/nsset"
+	"dnsddos/internal/obs"
 	"dnsddos/internal/openintel"
 	"dnsddos/internal/resolver"
 	"dnsddos/internal/rsdos"
@@ -50,6 +51,14 @@ type Options struct {
 	// reporting and fault injection (the chaos suite panics or stalls
 	// here); a panic in the hook quarantines the day like any other.
 	BeforeDay func(clock.Day)
+	// Metrics, when non-nil, receives the run's observations under
+	// study.* names so a cmd can serve them over -metrics-addr while the
+	// run is in flight. Nil makes the run observe into a private
+	// registry; either way the deterministic subset ends up in
+	// RunReport.Metrics. Sweep outcome counts and simulated RTTs are
+	// stable (seeded data plane, commutative merge); wall-clock stage
+	// timings register as volatile and stay out of the stable snapshot.
+	Metrics *obs.Registry
 }
 
 // SkippedDay records one quarantined day-shard.
@@ -72,6 +81,13 @@ type RunReport struct {
 	CompletedDays int
 	// SkippedDays lists quarantined day-shards in ascending day order.
 	SkippedDays []SkippedDay
+	// Metrics is the stable (deterministic) metric snapshot taken when
+	// the run finished: sweep outcome counters and the simulated-RTT
+	// histogram, but no wall-clock timings. Two runs of the same seeded
+	// config produce byte-identical encodings of it. Days restored from
+	// checkpoints contribute no observations — the snapshot covers the
+	// work this run performed.
+	Metrics *obs.Snapshot `json:",omitempty"`
 }
 
 // QuarantinedDays returns just the skipped days, ascending.
@@ -111,7 +127,13 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*Study, error) {
 	if err := Validate(cfg); err != nil {
 		return nil, err
 	}
-	s := &Study{Config: cfg}
+	s := &Study{Config: cfg, Metrics: opts.Metrics}
+	if s.Metrics == nil {
+		s.Metrics = obs.New()
+	}
+	stage := stageTimer(s.Metrics)
+
+	t0 := time.Now()
 	s.World = scenario.GenerateWorld(cfg.World)
 	s.Schedule = scenario.GenerateSchedule(cfg.Attacks, s.World)
 	s.Telescope = telescope.NewUCSD()
@@ -119,10 +141,13 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*Study, error) {
 	if cfg.IncludeNoise {
 		s.Obs = append(s.Obs, scenario.SynthesizeNoise(cfg.Noise, s.Telescope)...)
 	}
+	stage("generate", t0)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	t0 = time.Now()
 	s.Attacks = rsdos.Infer(cfg.RSDoS, s.Obs)
+	stage("infer", t0)
 
 	s.Net = simnet.New(cfg.Net, s.World.DB, s.Schedule.Sched, s.Schedule.Blackouts...)
 	s.Resolver = resolver.New(cfg.Resolver, s.World.DB, s.Net)
@@ -158,10 +183,13 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*Study, error) {
 		}
 	}
 
+	t0 = time.Now()
 	if err := s.runSweepsSupervised(ctx, opts, filter, ckpt, done); err != nil {
 		return nil, err
 	}
+	stage("sweep", t0)
 
+	t0 = time.Now()
 	s.Pipeline = core.NewPipeline(cfg.Pipeline, s.World.DB, s.Agg, s.World.Census, s.World.Topo, s.World.OpenRes)
 	if q := s.Report.QuarantinedDays(); len(q) > 0 {
 		s.Pipeline.SetQuarantinedDays(q)
@@ -171,7 +199,54 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*Study, error) {
 	if s.Events, err = s.Pipeline.EventsContext(ctx, s.Attacks); err != nil {
 		return nil, err
 	}
+	stage("join", t0)
+	snap := s.Metrics.StableSnapshot()
+	s.Report.Metrics = &snap
 	return s, nil
+}
+
+// stageTimer returns a closure recording wall-clock stage durations as
+// volatile gauges (study.stage.<name>_wall_ns) — visible on a live
+// /metrics.json, excluded from the deterministic stable snapshot.
+func stageTimer(reg *obs.Registry) func(name string, since time.Time) {
+	return func(name string, since time.Time) {
+		reg.Gauge("study.stage."+name+"_wall_ns", obs.Volatile()).Set(int64(time.Since(since)))
+	}
+}
+
+// sweepMetrics is the deterministic per-shard instrument set: outcome
+// counters and the simulated-RTT histogram under study.sweep.* names.
+// Each shard observes into a private registry that merges into the
+// run's registry only when the shard completes, so a panicking attempt
+// that half-swept a day cannot double-count after its retry.
+type sweepMetrics struct {
+	ok       *obs.Counter
+	servfail *obs.Counter
+	timeout  *obs.Counter
+	rtt      *obs.Histogram
+}
+
+func newSweepMetrics(reg *obs.Registry) sweepMetrics {
+	return sweepMetrics{
+		ok:       reg.Counter("study.sweep.ok"),
+		servfail: reg.Counter("study.sweep.servfail"),
+		timeout:  reg.Counter("study.sweep.timeout"),
+		rtt:      reg.Histogram("study.sweep.rtt"),
+	}
+}
+
+// observe folds one sweep record into the shard's metrics. The RTT is
+// simulated (seeded data plane), so the histogram is deterministic.
+func (m sweepMetrics) observe(rec openintel.Record) {
+	switch rec.Status {
+	case nsset.StatusOK:
+		m.ok.Inc()
+		m.rtt.Observe(rec.RTT)
+	case nsset.StatusServFail:
+		m.servfail.Inc()
+	default:
+		m.timeout.Inc()
+	}
 }
 
 // runSweepsSupervised runs the daily sweeps as independent day-shards
@@ -226,7 +301,9 @@ dispatch:
 		go func(day clock.Day) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			agg, skipped := s.runDayShard(ctx, day, filter, opts)
+			shardStart := time.Now()
+			agg, sreg, skipped := s.runDayShard(ctx, day, filter, opts)
+			s.Metrics.Histogram("study.day_sweep_wall", obs.Volatile()).Observe(time.Since(shardStart))
 			mu.Lock()
 			defer mu.Unlock()
 			switch {
@@ -234,12 +311,15 @@ dispatch:
 				s.Report.SkippedDays = append(s.Report.SkippedDays, *skipped)
 			case agg != nil:
 				if ckpt != nil && ckptErr == nil {
+					wstart := time.Now()
 					if err := ckpt.WriteDay(day, agg.Snapshot()); err != nil {
 						ckptErr = err
 						return
 					}
+					s.Metrics.Histogram("study.checkpoint_write_wall", obs.Volatile()).Observe(time.Since(wstart))
 				}
 				s.Agg.Merge(agg)
+				s.Metrics.Merge(sreg)
 				s.Report.CompletedDays++
 			}
 			// agg == nil && skipped == nil: shard abandoned on
@@ -260,52 +340,54 @@ dispatch:
 // runDayShard sweeps one day with isolation: a panicking attempt is
 // retried once, then quarantined; a watchdog timeout quarantines
 // immediately (retrying a stuck sweep would just double the stall). A
-// (nil, nil) return means the shard was abandoned because ctx was
-// cancelled.
-func (s *Study) runDayShard(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (*nsset.Aggregator, *SkippedDay) {
+// (nil, nil, nil) return means the shard was abandoned because ctx was
+// cancelled. On success the shard's private metric registry rides along
+// so the caller can merge it exactly once.
+func (s *Study) runDayShard(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (*nsset.Aggregator, *obs.Registry, *SkippedDay) {
 	const maxAttempts = 2
 	for attempt := 1; ; attempt++ {
 		if ctx.Err() != nil {
-			return nil, nil
+			return nil, nil, nil
 		}
-		agg, sk := s.sweepDayOnce(ctx, day, filter, opts)
+		agg, sreg, sk := s.sweepDayOnce(ctx, day, filter, opts)
 		if sk == nil {
-			return agg, nil // completed, or (nil, nil) when cancelled
+			return agg, sreg, nil // completed, or (nil, nil, nil) when cancelled
 		}
 		sk.Attempts = attempt
 		if strings.HasPrefix(sk.Reason, "watchdog") || attempt == maxAttempts {
-			return nil, sk
+			return nil, nil, sk
 		}
 	}
 }
 
 // sweepDayOnce runs a single attempt, under the watchdog when enabled.
-func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (*nsset.Aggregator, *SkippedDay) {
+func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (*nsset.Aggregator, *obs.Registry, *SkippedDay) {
 	if opts.ShardTimeout <= 0 {
 		return s.sweepAttempt(ctx, day, filter, opts)
 	}
 	dctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type result struct {
-		agg *nsset.Aggregator
-		sk  *SkippedDay
+		agg  *nsset.Aggregator
+		sreg *obs.Registry
+		sk   *SkippedDay
 	}
 	ch := make(chan result, 1)
 	go func() {
-		a, sk := s.sweepAttempt(dctx, day, filter, opts)
-		ch <- result{a, sk}
+		a, sreg, sk := s.sweepAttempt(dctx, day, filter, opts)
+		ch <- result{a, sreg, sk}
 	}()
 	timer := time.NewTimer(opts.ShardTimeout)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
-		return r.agg, r.sk
+		return r.agg, r.sreg, r.sk
 	case <-timer.C:
 		// Cancel the shard's context so a cooperative sweep exits
 		// promptly; a truly wedged goroutine is abandoned (it owns a
-		// private aggregator nobody will read).
+		// private aggregator and registry nobody will read).
 		cancel()
-		return nil, &SkippedDay{
+		return nil, nil, &SkippedDay{
 			Day:    day,
 			Reason: fmt.Sprintf("watchdog: day-shard exceeded %v", opts.ShardTimeout),
 		}
@@ -313,13 +395,15 @@ func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clo
 }
 
 // sweepAttempt is one isolated sweep of one day into a fresh private
-// aggregator. Panics — in the BeforeDay hook or anywhere inside the
-// engine/resolver/data plane — are captured with their stack instead of
-// crashing the run. A (nil, nil) return means ctx was cancelled.
-func (s *Study) sweepAttempt(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (agg *nsset.Aggregator, sk *SkippedDay) {
+// aggregator and metric registry. Panics — in the BeforeDay hook or
+// anywhere inside the engine/resolver/data plane — are captured with
+// their stack instead of crashing the run; the half-filled registry is
+// discarded with the aggregator, keeping retries exactly-once. A
+// (nil, nil, nil) return means ctx was cancelled.
+func (s *Study) sweepAttempt(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (agg *nsset.Aggregator, sreg *obs.Registry, sk *SkippedDay) {
 	defer func() {
 		if r := recover(); r != nil {
-			agg = nil
+			agg, sreg = nil, nil
 			sk = &SkippedDay{
 				Day:    day,
 				Reason: fmt.Sprintf("panic: %v", r),
@@ -332,8 +416,10 @@ func (s *Study) sweepAttempt(ctx context.Context, day clock.Day, filter func(clo
 	}
 	a := nsset.NewAggregator()
 	a.SetWindowFilter(filter)
-	if err := s.Engine.RunDayContext(ctx, day, a, nil); err != nil {
-		return nil, nil
+	reg := obs.New()
+	sm := newSweepMetrics(reg)
+	if err := s.Engine.RunDayContext(ctx, day, a, sm.observe); err != nil {
+		return nil, nil, nil
 	}
-	return a, nil
+	return a, reg, nil
 }

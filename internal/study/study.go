@@ -13,6 +13,7 @@ import (
 	"dnsddos/internal/clock"
 	"dnsddos/internal/core"
 	"dnsddos/internal/nsset"
+	"dnsddos/internal/obs"
 	"dnsddos/internal/openintel"
 	"dnsddos/internal/resolver"
 	"dnsddos/internal/rsdos"
@@ -103,6 +104,10 @@ type Study struct {
 	// Report summarizes the supervised run loop: resumed, completed and
 	// quarantined day-shards.
 	Report RunReport
+	// Metrics is the registry the run observed into (Options.Metrics, or
+	// a private one). It stays live after RunContext returns, so a
+	// -metrics-addr endpoint keeps serving final values.
+	Metrics *obs.Registry
 }
 
 // Run executes the full study, uninterruptible and without checkpoints —
