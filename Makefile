@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test obs race-gate chaos bench-throughput report
+.PHONY: build test obs race-gate chaos bench-throughput bench-join report
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,7 @@ build:
 test: build obs
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -bench 'BenchmarkJoin' -benchtime 1x -run '^$$' .
 
 # Observability gate: the metrics layer and its consumers under the race
 # detector — concurrent counter/histogram exactness, snapshot
@@ -27,10 +28,13 @@ obs:
 	$(GO) test -race ./internal/study/ -run 'TestRunMetrics' -count 1
 	$(GO) test ./internal/dnswire/ -run 'Fuzz' -count 1
 
-# Concurrency gate: run before merging changes to the serving path.
+# Concurrency gate: run before merging changes to the serving path or
+# the sharded join engine (shared NS index, day-snapshot LRU, worker
+# pool).
 race-gate:
 	$(GO) vet ./... && $(GO) build ./... && \
-	$(GO) test -race ./internal/authserver/... ./internal/resolver/... ./internal/dnsload/...
+	$(GO) test -race ./internal/authserver/... ./internal/resolver/... ./internal/dnsload/... \
+		./internal/core/... ./internal/cache/...
 
 # Chaos gate: the fault-injection and graceful-degradation regression
 # suite under the race detector — the netem-style wrappers, the retrying
@@ -53,6 +57,15 @@ chaos:
 # Serving-engine throughput (workers=1 is the serialized baseline).
 bench-throughput:
 	$(GO) test -bench 'Server_(UDP|TCP)Throughput' -benchtime 1s -run '^$$' ./internal/authserver/
+
+# Join-engine benchmark: the interval-indexed sharded engine against the
+# legacy linear scan, with allocation counts. The raw `go test -json`
+# event stream is archived in BENCH_join.json; the sed line prints the
+# human-readable benchmark rows.
+bench-join:
+	$(GO) test -json -bench 'BenchmarkJoin' -benchmem -benchtime 1s -count 3 -run '^$$' . > BENCH_join.json
+	@awk -F'"Output":"' '/"Output":/{s=$$2; sub(/"}$$/,"",s); gsub(/\\n/,"\n",s); gsub(/\\t/,"\t",s); printf "%s", s}' \
+		BENCH_join.json | grep -E 'ns/op|^(goos|cpu)'
 
 # The paper's tables and figures.
 report:

@@ -12,6 +12,7 @@
 //
 //	joinpipe [-domains N] [-attacks N] [-out FILE] [-quick] [-config FILE]
 //	         [-checkpoint DIR] [-resume] [-shard-timeout D] [-metrics-addr :9090]
+//	         [-legacy-join] [-index-cache N] [-shard-by BITS]
 package main
 
 import (
@@ -57,6 +58,9 @@ func run() (err error) {
 	resume := flag.Bool("resume", false, "resume from the checkpoints in -checkpoint instead of day 0")
 	shardTimeout := flag.Duration("shard-timeout", 0, "watchdog deadline per day-sweep (0 = none); a stuck day is quarantined, not waited for")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics.json, /debug/vars and /debug/pprof/ on this address while the run is in flight (empty disables)")
+	legacyJoin := flag.Bool("legacy-join", false, "use the historical linear-scan join engine instead of the interval-indexed sharded engine")
+	indexCache := flag.Int("index-cache", 0, "join-engine day-snapshot LRU size (0 = default, negative = unbounded)")
+	shardBy := flag.Int("shard-by", 0, "victim-prefix bits the join shards by (0 = default /16)")
 	flag.Parse()
 
 	if *resume && *ckptDir == "" {
@@ -99,12 +103,18 @@ func run() (err error) {
 	}
 
 	start := time.Now()
-	s, err := study.RunContext(ctx, cfg, study.Options{
-		CheckpointDir: *ckptDir,
-		Resume:        *resume,
-		ShardTimeout:  *shardTimeout,
-		Metrics:       reg,
-	})
+	runOpts := []study.Option{
+		study.WithCheckpointDir(*ckptDir),
+		study.WithResume(*resume),
+		study.WithShardTimeout(*shardTimeout),
+		study.WithMetrics(reg),
+		study.WithIndexCacheSize(*indexCache),
+		study.WithShardBits(*shardBy),
+	}
+	if *legacyJoin {
+		runOpts = append(runOpts, study.WithLegacyJoin())
+	}
+	s, err := study.RunContext(ctx, cfg, runOpts...)
 	if err != nil {
 		return err
 	}

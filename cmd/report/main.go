@@ -94,7 +94,10 @@ func run() error {
 	}
 
 	start := time.Now()
-	s, err := study.RunContext(ctx, cfg, study.Options{CheckpointDir: *ckptDir, Resume: *resume, Metrics: reg})
+	s, err := study.RunContext(ctx, cfg,
+		study.WithCheckpointDir(*ckptDir),
+		study.WithResume(*resume),
+		study.WithMetrics(reg))
 	if err != nil {
 		return err
 	}

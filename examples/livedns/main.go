@@ -63,7 +63,10 @@ func main() {
 	fmt.Printf("authoritative server for %d domains serving on %s (UDP+TCP)\n\n",
 		len(world.DB.Domains), addr)
 
-	client := &resolver.UDPClient{Timeout: 2 * time.Second}
+	// everything below speaks through the unified resolver.Client
+	// interface — UDP, TCP and the retrying LiveResolver are
+	// interchangeable transports
+	var client resolver.Client = &resolver.UDPClient{Timeout: 2 * time.Second}
 	ctx := context.Background()
 
 	samples := []string{
@@ -91,15 +94,15 @@ func main() {
 	}
 
 	// the DNS-over-TCP path — the protocol most attacks in the study
-	// target (§6.2)
+	// target (§6.2) — through the same Client interface
 	fmt.Println("\nDNS-over-TCP:")
-	ctxT, cancel := context.WithTimeout(ctx, 2*time.Second)
-	defer cancel()
-	msg, err := authserver.QueryTCP(ctxT, addr, "mil.ru", dnswire.TypeNS)
+	var tcpClient resolver.Client = &resolver.TCPClient{Timeout: 2 * time.Second}
+	msg, rttT, err := tcpClient.Query(ctx, addr, "mil.ru", dnswire.TypeNS)
 	if err != nil {
 		log.Fatalf("tcp query: %v", err)
 	}
-	fmt.Printf("NS mil.ru over TCP: rcode=%s answers=%d\n", msg.Header.RCode, len(msg.Answers))
+	fmt.Printf("NS mil.ru over TCP: rcode=%s answers=%d rtt=%s\n",
+		msg.Header.RCode, len(msg.Answers), rttT.Round(time.Microsecond))
 
 	// resolve a nameserver's own A record (glue host)
 	host := world.DB.Nameservers[0].Host

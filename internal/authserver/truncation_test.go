@@ -74,7 +74,8 @@ func TestQueryWithTCPFallback(t *testing.T) {
 	client := &resolver.UDPClient{Timeout: 2 * time.Second}
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
-	m, rtt, err := client.QueryWithTCPFallback(ctx, addr, "big.example", dnswire.TypeNS, QueryTCP)
+	m, rtt, err := client.QueryWithTCPFallback(ctx, addr, "big.example", dnswire.TypeNS,
+		&resolver.TCPClient{Timeout: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +100,11 @@ func TestSmallAnswerNotTruncated(t *testing.T) {
 	client := &resolver.UDPClient{Timeout: 2 * time.Second}
 	fallbackUsed := false
 	m, _, err := client.QueryWithTCPFallback(context.Background(), addr, "small.example", dnswire.TypeNS,
-		func(ctx context.Context, a, n string, q dnswire.Type) (*dnswire.Message, error) {
+		resolver.ClientFunc(func(ctx context.Context, a, n string, q dnswire.Type) (*dnswire.Message, time.Duration, error) {
 			fallbackUsed = true
-			return QueryTCP(ctx, a, n, q)
-		})
+			msg, err := QueryTCP(ctx, a, n, q)
+			return msg, 0, err
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,171 @@
+// lru.go is a small generic LRU used as the join engine's day-snapshot
+// cache (internal/core): per-day NSSet baseline indexes are expensive to
+// build but shared by every attack whose windows touch that day, and a
+// resumed or checkpointed run revisits the same days again. The cache is
+// safe for concurrent use and deduplicates concurrent builds of the same
+// key, so worker shards racing on a cold day build it exactly once.
+package cache
+
+import "sync"
+
+// LRU is a bounded map with least-recently-used eviction and
+// single-flight population. The zero value is not usable; call NewLRU.
+type LRU[K comparable, V any] struct {
+	mu      sync.Mutex
+	max     int
+	entries map[K]*lruEntry[K, V]
+	head    *lruEntry[K, V] // most recently used
+	tail    *lruEntry[K, V] // least recently used
+	// inflight holds the latch of every key currently being computed by
+	// GetOrCompute, so concurrent misses on the same key share one build.
+	inflight map[K]*lruCall[V]
+
+	hits, misses int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruEntry[K, V]
+}
+
+// lruCall is one in-flight computation; done closes when val is ready.
+type lruCall[V any] struct {
+	done chan struct{}
+	val  V
+}
+
+// NewLRU builds an LRU bounded to max entries; max <= 0 means unbounded.
+func NewLRU[K comparable, V any](max int) *LRU[K, V] {
+	return &LRU[K, V]{
+		max:      max,
+		entries:  make(map[K]*lruEntry[K, V]),
+		inflight: make(map[K]*lruCall[V]),
+	}
+}
+
+// unlink removes e from the recency list.
+func (l *LRU[K, V]) unlink(e *lruEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (l *LRU[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+// Get returns the cached value for k, refreshing its recency on a hit.
+func (l *LRU[K, V]) Get(k K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[k]
+	if !ok {
+		l.misses++
+		var zero V
+		return zero, false
+	}
+	l.hits++
+	if l.head != e {
+		l.unlink(e)
+		l.pushFront(e)
+	}
+	return e.val, true
+}
+
+// Put stores (k, v), evicting the least recently used entry when full.
+func (l *LRU[K, V]) Put(k K, v V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.put(k, v)
+}
+
+func (l *LRU[K, V]) put(k K, v V) {
+	if e, ok := l.entries[k]; ok {
+		e.val = v
+		if l.head != e {
+			l.unlink(e)
+			l.pushFront(e)
+		}
+		return
+	}
+	if l.max > 0 && len(l.entries) >= l.max {
+		oldest := l.tail
+		if oldest != nil {
+			l.unlink(oldest)
+			delete(l.entries, oldest.key)
+		}
+	}
+	e := &lruEntry[K, V]{key: k, val: v}
+	l.entries[k] = e
+	l.pushFront(e)
+}
+
+// GetOrCompute returns the cached value for k, computing and caching it
+// with build on a miss. Concurrent misses on the same key run build once
+// and share the result; build runs without the cache lock held, so it may
+// be arbitrarily expensive (and may itself use the cache for other keys).
+// The boolean reports whether the value was already cached (a hit).
+func (l *LRU[K, V]) GetOrCompute(k K, build func() V) (V, bool) {
+	l.mu.Lock()
+	if e, ok := l.entries[k]; ok {
+		l.hits++
+		if l.head != e {
+			l.unlink(e)
+			l.pushFront(e)
+		}
+		v := e.val
+		l.mu.Unlock()
+		return v, true
+	}
+	if c, ok := l.inflight[k]; ok {
+		// someone else is building it; their build counts as the miss
+		l.mu.Unlock()
+		<-c.done
+		return c.val, false
+	}
+	l.misses++
+	c := &lruCall[V]{done: make(chan struct{})}
+	l.inflight[k] = c
+	l.mu.Unlock()
+
+	c.val = build()
+	close(c.done)
+
+	l.mu.Lock()
+	delete(l.inflight, k)
+	l.put(k, c.val)
+	l.mu.Unlock()
+	return c.val, false
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// LRUStats returns cumulative hit and miss counts. A GetOrCompute that
+// joins another caller's in-flight build counts neither way.
+func (l *LRU[K, V]) LRUStats() (hits, misses int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.misses
+}

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU[int, string](2)
+	if _, ok := l.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	l.Put(1, "a")
+	l.Put(2, "b")
+	if v, ok := l.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	// 1 is now most recent; inserting 3 must evict 2
+	l.Put(3, "c")
+	if _, ok := l.Get(2); ok {
+		t.Fatal("LRU kept the least recently used entry past capacity")
+	}
+	if v, ok := l.Get(1); !ok || v != "a" {
+		t.Fatalf("recently used entry evicted: Get(1) = %q, %v", v, ok)
+	}
+	if v, ok := l.Get(3); !ok || v != "c" {
+		t.Fatalf("Get(3) = %q, %v", v, ok)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestLRUPutOverwrites(t *testing.T) {
+	l := NewLRU[string, int](0) // unbounded
+	l.Put("k", 1)
+	l.Put("k", 2)
+	if v, _ := l.Get("k"); v != 2 {
+		t.Fatalf("overwrite lost: got %d", v)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", l.Len())
+	}
+}
+
+func TestLRUGetOrComputeSingleFlight(t *testing.T) {
+	l := NewLRU[int, int](8)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, _ := l.GetOrCompute(7, func() int {
+				builds.Add(1)
+				return 42
+			})
+			if v != 42 {
+				t.Errorf("GetOrCompute = %d, want 42", v)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times for one key, want 1", n)
+	}
+	if v, hit := l.GetOrCompute(7, func() int { t.Error("rebuilt a cached key"); return 0 }); !hit || v != 42 {
+		t.Fatalf("cached GetOrCompute = %d, hit=%v", v, hit)
+	}
+}
+
+func TestLRUStats(t *testing.T) {
+	l := NewLRU[int, int](4)
+	l.GetOrCompute(1, func() int { return 1 }) // miss
+	l.GetOrCompute(1, func() int { return 1 }) // hit
+	l.Get(2)                                   // miss
+	hits, misses := l.LRUStats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 2", hits, misses)
+	}
+}
+
+func TestLRUEvictThenRecompute(t *testing.T) {
+	l := NewLRU[int, int](1)
+	calls := 0
+	build := func(k int) func() int { return func() int { calls++; return k * 10 } }
+	l.GetOrCompute(1, build(1))
+	l.GetOrCompute(2, build(2)) // evicts 1
+	if v, hit := l.GetOrCompute(1, build(1)); hit || v != 10 {
+		t.Fatalf("evicted key: v=%d hit=%v", v, hit)
+	}
+	if calls != 3 {
+		t.Fatalf("build calls = %d, want 3", calls)
+	}
+}

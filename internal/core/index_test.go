@@ -1,0 +1,62 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/rsdos"
+)
+
+// TestAttackIndexActiveAt exercises the interval-stabbing query against a
+// brute-force scan over a victim with overlapping, nested, and disjoint
+// attack intervals — the shapes the maxEnd augmentation exists for.
+func TestAttackIndexActiveAt(t *testing.T) {
+	v := netx.MustParseAddr("192.0.2.53")
+	other := netx.MustParseAddr("192.0.2.54")
+	w := func(n int) clock.Window { return clock.Window(1000 + n) }
+	mk := func(id int, vic netx.Addr, s, e clock.Window) rsdos.Attack {
+		return rsdos.Attack{ID: id, Victim: vic, StartWindow: s, EndWindow: e}
+	}
+	attacks := []rsdos.Attack{
+		mk(1, v, w(0), w(100)), // long interval covering everything below
+		mk(2, other, w(0), w(5)),
+		mk(3, v, w(10), w(20)),
+		mk(4, v, w(10), w(12)), // same start as 3, nested end
+		mk(5, v, w(30), w(30)), // point interval
+		mk(6, v, w(50), w(60)),
+	}
+	ix := BuildAttackIndex(attacks)
+
+	if got := ix.Len(); got != len(attacks) {
+		t.Fatalf("Len() = %d, want %d", got, len(attacks))
+	}
+	if got, want := ix.Victims(), []netx.Addr{v, other}; len(got) != 2 || got[0] > got[1] {
+		t.Fatalf("Victims() = %v, want the two victims ascending (%v)", got, want)
+	}
+	if got := ix.AttacksOn(v); !reflect.DeepEqual(got, []int32{0, 2, 3, 4, 5}) {
+		t.Fatalf("AttacksOn(v) = %v, want feed positions sorted by start", got)
+	}
+
+	brute := func(vic netx.Addr, probe clock.Window) []int32 {
+		var out []int32
+		for i := range attacks {
+			a := &attacks[i]
+			if a.Victim == vic && a.StartWindow <= probe && probe <= a.EndWindow {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for probe := -2; probe <= 105; probe++ {
+		pw := w(probe)
+		for _, vic := range []netx.Addr{v, other, netx.MustParseAddr("203.0.113.1")} {
+			got := ix.ActiveAt(vic, pw)
+			want := brute(vic, pw)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("ActiveAt(%v, %d) = %v, want %v", vic, probe, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// join.go is the interval-indexed sharded join engine (DESIGN §3.4), the
+// default implementation behind Pipeline.EventsContext.
+//
+// Engine shape: the attack feed is indexed by victim (AttackIndex), each
+// distinct victim is classified exactly once, and DNS-direct victims are
+// grouped into shards by a victim-address prefix (default /16). A bounded
+// worker pool joins the shards against the shared read-only NSIndex and
+// the per-day baseline snapshots memoized in the pipeline's LRU day
+// cache, streaming events into per-shard buffers. The buffers are merged
+// and sorted by (feed position, NSSet rank), which reproduces the legacy
+// linear scan's emission order exactly — attacks in feed order, and per
+// victim the containing NSSets in sorted order — so the two engines are
+// byte-identical on completed joins (enforced by TestJoinEngineParity).
+//
+// Beyond sharding, the engine removes three per-event costs the linear
+// scan pays:
+//
+//   - classification runs once per distinct victim, not once per attack
+//     (amplification-era feeds re-hit the same victims for months);
+//   - each (attack, NSSet) pair fetches one nsset.Series view, so the
+//     inner window loop pays an int-keyed probe per window instead of
+//     re-hashing the string NSSet key twice per window;
+//   - Eq. 1 baselines come from per-day snapshots built once per distinct
+//     day (Aggregator.DayBaselines) and cached across events, attacks,
+//     and EventsContext calls.
+package core
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/dnsdb"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/obs"
+	"dnsddos/internal/rsdos"
+)
+
+// daySnapshot is one day's baseline index: the day-d aggregate of every
+// NSSet measured on day d. Snapshots are keyed by *resolved* measurable
+// day (quarantine walk already applied), shared read-only across worker
+// shards, and memoized in the pipeline's LRU day cache.
+type daySnapshot struct {
+	day       clock.Day
+	baselines map[nsset.Key]*nsset.DayBaseline
+}
+
+// baseline returns the NSSet's day aggregate, or nil if it was not
+// measured that day.
+func (s *daySnapshot) baseline(k nsset.Key) *nsset.DayBaseline {
+	return s.baselines[k]
+}
+
+// snapshotFor returns the baseline snapshot of a resolved measurable day,
+// building it at most once per day across all shards (single-flight LRU).
+func (p *Pipeline) snapshotFor(d clock.Day) *daySnapshot {
+	s, _ := p.dayCache.GetOrCompute(d, func() *daySnapshot {
+		return &daySnapshot{day: d, baselines: p.agg.DayBaselines(d)}
+	})
+	return s
+}
+
+// joinMetrics is the engine's observability surface. All metrics are
+// registered Volatile: build times, shard latencies, and cache hit
+// interleavings are run-dependent, and keeping them out of StableSnapshot
+// keeps seeded-run outputs (study.Report, golden files) byte-identical.
+// The zero value (no registry) is valid and free: every field is a
+// nil-safe no-op metric.
+type joinMetrics struct {
+	indexBuildNS  *obs.Gauge     // core.join.index_build_ns: last AttackIndex build
+	victims       *obs.Gauge     // core.join.victims: distinct DNS-direct victims in the last feed
+	shards        *obs.Gauge     // core.join.shards: shards in the last join
+	events        *obs.Counter   // core.join.events: events emitted (cumulative)
+	attacksJoined *obs.Counter   // core.join.attacks: DNS-direct attacks joined (cumulative)
+	cacheHits     *obs.Gauge     // core.join.day_cache_hits: LRU lifetime hits
+	cacheMisses   *obs.Gauge     // core.join.day_cache_misses: LRU lifetime misses
+	cacheRatio    *obs.Gauge     // core.join.day_cache_hit_ratio_permille: hits/(hits+misses)
+	shardLatency  *obs.Histogram // core.join.shard_latency_ns: per-shard wall time
+}
+
+// newJoinMetrics registers the engine metrics on reg (nil disables all).
+func newJoinMetrics(reg *obs.Registry) joinMetrics {
+	return joinMetrics{
+		indexBuildNS:  reg.Gauge("core.join.index_build_ns", obs.Volatile()),
+		victims:       reg.Gauge("core.join.victims", obs.Volatile()),
+		shards:        reg.Gauge("core.join.shards", obs.Volatile()),
+		events:        reg.Counter("core.join.events", obs.Volatile()),
+		attacksJoined: reg.Counter("core.join.attacks", obs.Volatile()),
+		cacheHits:     reg.Gauge("core.join.day_cache_hits", obs.Volatile()),
+		cacheMisses:   reg.Gauge("core.join.day_cache_misses", obs.Volatile()),
+		cacheRatio:    reg.Gauge("core.join.day_cache_hit_ratio_permille", obs.Volatile()),
+		shardLatency:  reg.Histogram("core.join.shard_latency_ns", obs.Volatile()),
+	}
+}
+
+// publishCacheStats exports the day cache's lifetime hit/miss counts and
+// derived hit ratio (permille, so the integer gauge keeps 0.1% steps).
+func (m *joinMetrics) publishCacheStats(c interface{ LRUStats() (int64, int64) }) {
+	hits, misses := c.LRUStats()
+	m.cacheHits.Set(hits)
+	m.cacheMisses.Set(misses)
+	if total := hits + misses; total > 0 {
+		m.cacheRatio.Set(hits * 1000 / total)
+	}
+}
+
+// dnsVictim is one classified DNS-direct victim with its attack feed
+// positions — the unit of shard work.
+type dnsVictim struct {
+	v       netx.Addr
+	ns      dnsdb.NameserverID
+	attacks []int32 // feed positions, sorted by (start, position)
+}
+
+// taggedEvent carries an event with the two sort keys that reproduce the
+// legacy emission order.
+type taggedEvent struct {
+	attackIdx int32
+	nssetIdx  int32
+	ev        Event
+}
+
+// joinIndex is one feed's immutable join plan: the attack interval index
+// plus the classified DNS-direct victims grouped into shards. It is a
+// pure function of the feed slice (and the pipeline's frozen world), so
+// the pipeline memoizes the last plan: repeat joins over the same feed —
+// resumed runs, ablation sweeps, the report tools — skip the feed scan
+// entirely. Like AttackIndex, it references the feed and is stale if the
+// slice is mutated in place.
+type joinIndex struct {
+	feedPtr *rsdos.Attack
+	feedLen int
+	aix     *AttackIndex
+	direct  []dnsVictim
+	shards  [][]dnsVictim
+}
+
+// joinIndexFor returns the feed's join plan, building it at most once per
+// distinct feed (concurrent first calls may race to build; either result
+// is correct and one wins the store).
+func (p *Pipeline) joinIndexFor(attacks []rsdos.Attack) *joinIndex {
+	var feedPtr *rsdos.Attack
+	if len(attacks) > 0 {
+		feedPtr = &attacks[0]
+	}
+	if ji := p.joinIdx.Load(); ji != nil && ji.feedPtr == feedPtr && ji.feedLen == len(attacks) {
+		return ji
+	}
+
+	t0 := time.Now()
+	// Index only DNS-direct victims: the feed is dominated by victims
+	// that are not DNS infrastructure, so each entry first passes the
+	// NSIndex bit filter (one shift + bit test) and survivors get one
+	// memoized classification per distinct victim. The interval
+	// structures are then built for the relevant subset only.
+	type vinfo struct {
+		direct bool
+		ns     dnsdb.NameserverID
+	}
+	memo := make(map[netx.Addr]vinfo)
+	aix := BuildAttackIndexFunc(attacks, func(v netx.Addr) bool {
+		if !p.ix.mayBeNS(v) {
+			return false
+		}
+		inf, ok := memo[v]
+		if !ok {
+			class, _, ns := p.classifyVictim(v)
+			inf = vinfo{direct: class == ClassDNSDirect, ns: ns}
+			memo[v] = inf
+		}
+		return inf.direct
+	})
+
+	// Victims() is sorted ascending, so consecutive victims share shard
+	// prefixes and the shard list below comes out in ascending order.
+	direct := make([]dnsVictim, 0, len(aix.Victims()))
+	for _, v := range aix.Victims() {
+		direct = append(direct, dnsVictim{v: v, ns: memo[v].ns, attacks: aix.AttacksOn(v)})
+	}
+
+	// Group contiguous runs of victims by address prefix into shards.
+	shift := uint(32 - p.shardBits)
+	var shards [][]dnsVictim
+	for i := 0; i < len(direct); {
+		j := i + 1
+		for j < len(direct) && uint32(direct[j].v)>>shift == uint32(direct[i].v)>>shift {
+			j++
+		}
+		shards = append(shards, direct[i:j])
+		i = j
+	}
+	p.metrics.indexBuildNS.Set(time.Since(t0).Nanoseconds())
+
+	ji := &joinIndex{feedPtr: feedPtr, feedLen: len(attacks), aix: aix, direct: direct, shards: shards}
+	p.joinIdx.Store(ji)
+	return ji
+}
+
+// eventsIndexed is the sharded interval-indexed join.
+func (p *Pipeline) eventsIndexed(ctx context.Context, attacks []rsdos.Attack) ([]Event, error) {
+	ji := p.joinIndexFor(attacks)
+	p.metrics.victims.Set(int64(len(ji.direct)))
+	p.metrics.shards.Set(int64(len(ji.shards)))
+
+	if len(ji.shards) == 0 {
+		p.metrics.publishCacheStats(p.dayCache)
+		return nil, ctx.Err()
+	}
+
+	// Prewarm the day-snapshot cache with every day this feed joins
+	// against, so worker shards only read (deterministic hit/miss
+	// accounting, and no thundering rebuild under concurrent misses —
+	// GetOrCompute single-flights the stragglers anyway).
+	p.prewarmDays(ji.aix, ji.direct)
+
+	out, err := p.runShards(ctx, ji.aix, ji.shards)
+	p.metrics.publishCacheStats(p.dayCache)
+	return out, err
+}
+
+// prewarmDays builds the baseline snapshot of every resolved day the feed
+// can touch: each attack's snapshot day (§4.2 join rule) and the Eq. 1
+// baseline day of each calendar day the attack spans.
+func (p *Pipeline) prewarmDays(aix *AttackIndex, direct []dnsVictim) {
+	back := clock.Day(p.cfg.BaselineDaysBack)
+	if back <= 0 {
+		back = 1
+	}
+	seen := make(map[clock.Day]bool)
+	warm := func(d clock.Day) {
+		d = p.measurableDay(d)
+		if !seen[d] {
+			seen[d] = true
+			p.snapshotFor(d)
+		}
+	}
+	for _, dv := range direct {
+		for _, ai := range dv.attacks {
+			a := &aix.attacks[ai]
+			snapDay := a.StartWindow.Day()
+			if p.cfg.UsePrevDaySnapshot {
+				snapDay = snapDay.Prev()
+			}
+			warm(snapDay)
+			for d := a.StartWindow.Day(); d <= a.EndWindow.Day(); d++ {
+				warm(d - back)
+			}
+		}
+	}
+}
+
+// runShards drives the bounded worker pool over the shard list, each
+// worker writing its own slot of the per-shard buffer matrix, then merges
+// deterministically.
+func (p *Pipeline) runShards(ctx context.Context, aix *AttackIndex, shards [][]dnsVictim) ([]Event, error) {
+	workers := p.joinWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	buffers := make([][]taggedEvent, len(shards))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range work {
+				st := time.Now()
+				buffers[si] = p.joinShard(ctx, aix, shards[si])
+				p.metrics.shardLatency.Observe(time.Since(st))
+			}
+		}()
+	}
+dispatch:
+	for si := range shards {
+		select {
+		case work <- si:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	n := 0
+	for _, b := range buffers {
+		n += len(b)
+	}
+	merged := make([]taggedEvent, 0, n)
+	for _, b := range buffers {
+		merged = append(merged, b...)
+	}
+	// Shards cover disjoint ascending victim ranges but attacks interleave
+	// across victims; restore the feed order the legacy scan emits in.
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].attackIdx != merged[j].attackIdx {
+			return merged[i].attackIdx < merged[j].attackIdx
+		}
+		return merged[i].nssetIdx < merged[j].nssetIdx
+	})
+	out := make([]Event, len(merged))
+	for i, te := range merged {
+		out[i] = te.ev
+	}
+	p.metrics.events.Add(int64(len(out)))
+	return out, ctx.Err()
+}
+
+// joinShard joins one shard's victims. Cancellation is checked between
+// attacks; a cancelled shard returns the events built so far (the overall
+// join then reports ctx.Err() and callers treat the result as partial).
+func (p *Pipeline) joinShard(ctx context.Context, aix *AttackIndex, victims []dnsVictim) []taggedEvent {
+	var out []taggedEvent
+	checked := 0
+	for _, dv := range victims {
+		sets := p.ix.NSSetsContaining(dv.v)
+		if len(sets) == 0 {
+			continue
+		}
+		for _, ai := range dv.attacks {
+			if checked&63 == 0 {
+				select {
+				case <-ctx.Done():
+					return out
+				default:
+				}
+			}
+			checked++
+			p.metrics.attacksJoined.Inc()
+			ca := ClassifiedAttack{
+				Attack:     aix.attacks[ai],
+				Class:      ClassDNSDirect,
+				NSRecorded: true,
+				NS:         dv.ns,
+			}
+			// the §4.2 snapshot day depends only on the attack; fetch its
+			// baseline snapshot once for all containing NSSets
+			snapDay := ca.StartWindow.Day()
+			if p.cfg.UsePrevDaySnapshot {
+				snapDay = snapDay.Prev()
+			}
+			snap := p.snapshotFor(p.measurableDay(snapDay))
+			for ki, k := range sets {
+				if e, ok := p.buildEventIndexed(ca, snap, k); ok {
+					out = append(out, taggedEvent{attackIdx: ai, nssetIdx: int32(ki), ev: e})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// buildEventIndexed is buildEvent on the indexed fast path: snap is the
+// attack's resolved §4.2 snapshot-day baseline index, Eq. 1 baselines
+// come from cached day snapshots, and window metrics from a span-clamped
+// Series view — with identical guards and float arithmetic so results
+// are byte-for-byte the legacy scan's.
+func (p *Pipeline) buildEventIndexed(ca ClassifiedAttack, snap *daySnapshot, k nsset.Key) (Event, bool) {
+	if b := snap.baseline(k); b == nil || b.OKCount == 0 {
+		return Event{}, false
+	}
+	e := Event{
+		Attack:        ca,
+		NSSet:         k,
+		HostedDomains: p.ix.DomainCount(k),
+	}
+	series := p.agg.Series(k)
+	back := clock.Day(p.cfg.BaselineDaysBack)
+	if back <= 0 {
+		back = 1
+	}
+	impact := 0.0
+	hasImpact := false
+	worstFail := 0.0
+	// Measurements are sparse within an attack span (each domain is swept
+	// once a day), so instead of probing every 5-minute window we walk the
+	// span day by day and visit only the windows the series actually holds
+	// (Series.DayWindows). Every accumulator below is order-independent —
+	// integer sums and maxima over the same set of windows — so the
+	// unsorted day buckets still reproduce the legacy scan's bytes.
+	from, to := series.Clamp(ca.StartWindow, ca.EndWindow)
+	for d := from.Day(); d <= to.Day(); d++ {
+		// Hoist the Eq. 1 denominator out of the window loop: it is a
+		// per-day quantity, computed lazily on the day's first OK window.
+		var baseRTT time.Duration
+		baseOK, baseDone := false, false
+		wins := series.DayWindows(d)
+		lo := sort.Search(len(wins), func(i int) bool { return wins[i].Window >= from })
+		for _, m := range wins[lo:] {
+			if m.Window > to {
+				break
+			}
+			e.MeasuredDomains += m.Domains
+			e.OK += m.OKCount
+			e.Timeouts += m.Timeouts
+			e.ServFails += m.ServFails
+			if fr := m.FailureRate(); fr > worstFail {
+				worstFail = fr
+			}
+			if m.OKCount == 0 {
+				continue
+			}
+			if !baseDone {
+				baseDone = true
+				if b := p.snapshotFor(p.measurableDay(d - back)).baseline(k); b != nil && b.OKCount > 0 {
+					if rtt := b.AvgRTT(); rtt > 0 {
+						baseRTT = rtt
+						baseOK = true
+					}
+				}
+			}
+			if baseOK {
+				hasImpact = true
+				if imp := float64(m.AvgRTT()) / float64(baseRTT); imp > impact {
+					impact = imp
+				}
+			}
+		}
+	}
+	if e.MeasuredDomains < p.cfg.MinMeasuredDomains {
+		return Event{}, false
+	}
+	e.Impact, e.HasImpact, e.FailureRate = impact, hasImpact, worstFail
+	p.enrich(&e, ca.Start())
+	return e, true
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/dnsdb"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/rsdos"
+)
+
+// buildWideWorld spreads providers across many /16s so the /16-sharded
+// join actually fans out: provider i gets two nameservers in 10.i.0.0/16
+// and four domains.
+func buildWideWorld(t *testing.T, providers int) (*dnsdb.DB, []netx.Addr, []nsset.Key) {
+	t.Helper()
+	db := dnsdb.New()
+	addrs := make([]netx.Addr, 0, 2*providers)
+	keys := make([]nsset.Key, 0, providers)
+	for i := 0; i < providers; i++ {
+		p := db.AddProvider(dnsdb.Provider{Name: fmt.Sprintf("P%03d", i)})
+		a1 := netx.MustParseAddr(fmt.Sprintf("10.%d.0.10", i))
+		a2 := netx.MustParseAddr(fmt.Sprintf("10.%d.0.20", i))
+		var ids []dnsdb.NameserverID
+		for _, a := range []netx.Addr{a1, a2} {
+			id, err := db.AddNameserver(dnsdb.Nameserver{
+				Addr: a, Provider: p, Sites: 1,
+				CapacityPPS: 1e5, BaseRTT: 10 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		for j := 0; j < 4; j++ {
+			db.AddDomain(dnsdb.Domain{Name: fmt.Sprintf("d%03d.example", i), NS: ids})
+		}
+		addrs = append(addrs, a1, a2)
+		keys = append(keys, nsset.KeyOf([]netx.Addr{a1, a2}))
+	}
+	db.Freeze()
+	return db, addrs, keys
+}
+
+// TestShardedJoinMatchesLegacyConcurrent is the race-detector workout
+// for the sharded engine: many shards (one per victim at shardBits=32),
+// a worker pool wider than GOMAXPROCS, and four goroutines running
+// EventsContext on the same pipeline at once — sharing the NS index, the
+// aggregator and the day-snapshot LRU. Every result must equal the
+// legacy linear scan's.
+func TestShardedJoinMatchesLegacyConcurrent(t *testing.T) {
+	const providers = 32
+	db, addrs, keys := buildWideWorld(t, providers)
+	agg := nsset.NewAggregator()
+
+	attacks := make([]rsdos.Attack, 0, len(addrs))
+	for i, a := range addrs {
+		aw := clock.Day(40+i%3).FirstWindow() + clock.Window(10*(i%7))
+		seedMeasurements(agg, keys[i/2], aw.Day(), 10*time.Millisecond, aw, 100*time.Millisecond, 8, 2)
+		attacks = append(attacks, mkAttack(i+1, a, aw, aw+2, 53))
+	}
+
+	legacy := NewPipeline(db, WithAggregator(agg), WithLegacyJoin())
+	want := legacy.Events(attacks)
+	if len(want) < providers {
+		t.Fatalf("legacy join produced %d events; the comparison would be thin", len(want))
+	}
+
+	indexed := NewPipeline(db, WithAggregator(agg), WithJoinWorkers(8), WithShardBits(32))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := indexed.EventsContext(context.Background(), attacks)
+			if err != nil {
+				t.Errorf("indexed join: %v", err)
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("indexed join diverged from legacy: %d vs %d events", len(got), len(want))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestShardedJoinCancellation: cancelling mid-join returns ctx.Err()
+// without deadlocking the worker pool (the race detector guards the
+// shutdown path).
+func TestShardedJoinCancellation(t *testing.T) {
+	db, addrs, keys := buildWideWorld(t, 16)
+	agg := nsset.NewAggregator()
+	attacks := make([]rsdos.Attack, 0, len(addrs))
+	for i, a := range addrs {
+		aw := clock.Day(40).FirstWindow() + clock.Window(i)
+		seedMeasurements(agg, keys[i/2], aw.Day(), 10*time.Millisecond, aw, 50*time.Millisecond, 8, 2)
+		attacks = append(attacks, mkAttack(i+1, a, aw, aw+2, 53))
+	}
+	p := NewPipeline(db, WithAggregator(agg), WithJoinWorkers(4), WithShardBits(32))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.EventsContext(ctx, attacks); err != context.Canceled {
+		t.Fatalf("cancelled join error = %v, want context.Canceled", err)
+	}
+}

@@ -11,19 +11,27 @@
 //     day's nameserver list;
 //  3. extract the domains those nameservers host;
 //  4. use the per-NSSet RTT data to infer performance impairment.
+//
+// Two join engines share the EventsContext signature: the default
+// interval-indexed sharded engine (join.go) and the historical linear
+// scan (the WithLegacyJoin escape hatch), which is retained as the
+// reference implementation the parity tests compare against.
 package core
 
 import (
 	"context"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"dnsddos/internal/anycast"
 	"dnsddos/internal/astopo"
+	"dnsddos/internal/cache"
 	"dnsddos/internal/clock"
 	"dnsddos/internal/dnsdb"
 	"dnsddos/internal/netx"
 	"dnsddos/internal/nsset"
+	"dnsddos/internal/obs"
 	"dnsddos/internal/openres"
 	"dnsddos/internal/rsdos"
 )
@@ -109,7 +117,16 @@ func DefaultConfig() Config {
 	}
 }
 
+// defaultDayCacheSize bounds the LRU day-snapshot cache: large enough to
+// hold every join-relevant day of the 17-month study window (~515 days
+// plus baselines), small enough that a pathological feed cannot pin one
+// snapshot per day of a decade-long range.
+const defaultDayCacheSize = 1024
+
 // Pipeline is the frozen join context: world, measurements, and metadata.
+// Construct it with NewPipeline; all fields are internal and set through
+// functional options, so new engine knobs never widen a constructor
+// signature again.
 type Pipeline struct {
 	cfg     Config
 	db      *dnsdb.DB
@@ -118,44 +135,163 @@ type Pipeline struct {
 	topo    *astopo.Table
 	openRes *openres.List
 
-	// nssetDomains maps each NSSet to the number of domains hosted on it.
-	nssetDomains map[nsset.Key]int
-	// nssetsByAddr maps a nameserver address to the NSSets containing it.
-	nssetsByAddr map[netx.Addr][]nsset.Key
-	// slash24HasNS marks /24s containing at least one nameserver.
-	slash24HasNS map[netx.Prefix]bool
+	// ix is the immutable nameserver-side join index (index.go), built at
+	// construction unless an existing one is shared in via WithNSIndex.
+	ix *NSIndex
+	// domainNSSets, when set, is the openintel engine's per-domain key
+	// cache, reused instead of recomputing keys from the DB.
+	domainNSSets []nsset.Key
+
+	// legacyJoin switches EventsContext to the historical linear scan.
+	legacyJoin bool
+	// joinWorkers bounds the sharded engine's worker pool (0 = GOMAXPROCS).
+	joinWorkers int
+	// shardBits is the victim-prefix width shards are keyed by (default
+	// 16, i.e. one shard per victim /16).
+	shardBits int
+	// dayCache memoizes per-day baseline snapshots across events and
+	// across EventsContext calls (resumed/checkpointed runs revisit the
+	// same days).
+	dayCache *cache.LRU[clock.Day, *daySnapshot]
+	// joinIdx memoizes the last feed's attack index and shard plan
+	// (join.go): repeat joins over the same feed slice skip the feed scan
+	// entirely and go straight to the shard workers.
+	joinIdx atomic.Pointer[joinIndex]
+	// metrics receives join instrumentation (joinMetrics, join.go); nil
+	// disables it.
+	metrics joinMetrics
+
 	// quarantined marks days whose measurement sweep was skipped
 	// (panicked or timed out under the supervised study run); snapshot
 	// and baseline lookups walk back past them.
 	quarantined map[clock.Day]bool
 }
 
-// NewPipeline builds the join context. census, topo and openRes may be nil
-// (metadata enrichment then degrades gracefully).
-func NewPipeline(cfg Config, db *dnsdb.DB, agg *nsset.Aggregator, census *anycast.Census, topo *astopo.Table, open *openres.List) *Pipeline {
-	p := &Pipeline{
-		cfg:          cfg,
-		db:           db,
-		agg:          agg,
-		census:       census,
-		topo:         topo,
-		openRes:      open,
-		nssetDomains: make(map[nsset.Key]int),
-		nssetsByAddr: make(map[netx.Addr][]nsset.Key),
-		slash24HasNS: make(map[netx.Prefix]bool),
-	}
-	for i := range db.Domains {
-		k := nsset.KeyOf(db.NSAddrs(dnsdb.DomainID(i)))
-		p.nssetDomains[k]++
-	}
-	for k := range p.nssetDomains {
-		for _, a := range k.Addrs() {
-			p.nssetsByAddr[a] = append(p.nssetsByAddr[a], k)
+// Option configures a Pipeline at construction.
+type Option func(*Pipeline)
+
+// WithConfig sets the pipeline configuration (default DefaultConfig).
+func WithConfig(cfg Config) Option {
+	return func(p *Pipeline) { p.cfg = cfg }
+}
+
+// WithAggregator attaches the measurement aggregator the join reads
+// (default: an empty aggregator, joining zero measurements).
+func WithAggregator(agg *nsset.Aggregator) Option {
+	return func(p *Pipeline) { p.agg = agg }
+}
+
+// WithCensus attaches the anycast census for §6.6 enrichment; nil
+// degrades gracefully.
+func WithCensus(c *anycast.Census) Option {
+	return func(p *Pipeline) { p.census = c }
+}
+
+// WithTopology attaches the AS topology table for origin-AS enrichment;
+// nil degrades gracefully.
+func WithTopology(t *astopo.Table) Option {
+	return func(p *Pipeline) { p.topo = t }
+}
+
+// WithOpenResolvers attaches the open-resolver list the §6.1 filter
+// consults; nil disables the filter.
+func WithOpenResolvers(l *openres.List) Option {
+	return func(p *Pipeline) { p.openRes = l }
+}
+
+// WithLegacyJoin selects the historical linear-scan join engine instead
+// of the interval-indexed sharded engine — the escape hatch (and the
+// reference implementation parity tests compare against).
+func WithLegacyJoin() Option {
+	return func(p *Pipeline) { p.legacyJoin = true }
+}
+
+// WithJoinWorkers bounds the sharded engine's worker pool; 0 (default)
+// uses GOMAXPROCS.
+func WithJoinWorkers(n int) Option {
+	return func(p *Pipeline) { p.joinWorkers = n }
+}
+
+// WithShardBits sets the victim-prefix width the sharded engine groups
+// work by (default 16: one shard per victim /16). Valid range 0..32;
+// out-of-range values are clamped.
+func WithShardBits(bits int) Option {
+	return func(p *Pipeline) { p.shardBits = bits }
+}
+
+// WithDayCacheSize bounds the LRU day-snapshot cache (default 1024
+// days); 0 keeps the default, negative makes it unbounded.
+func WithDayCacheSize(n int) Option {
+	return func(p *Pipeline) {
+		if n != 0 {
+			p.dayCache = cache.NewLRU[clock.Day, *daySnapshot](max(n, 0))
 		}
 	}
-	for a, sets := range p.nssetsByAddr {
-		sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
-		p.slash24HasNS[a.Slash24()] = true
+}
+
+// WithMetrics threads an observability registry through the join engine:
+// index build time, day-cache hit ratio, per-shard join latency, event
+// counts — all registered volatile (run-dependent timings and cache
+// interleavings stay out of deterministic stable snapshots).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(p *Pipeline) { p.metrics = newJoinMetrics(reg) }
+}
+
+// WithNSIndex shares a prebuilt nameserver-side index instead of
+// building one — ablation sweeps constructing many pipelines over the
+// same world pay the index build once.
+func WithNSIndex(ix *NSIndex) Option {
+	return func(p *Pipeline) { p.ix = ix }
+}
+
+// WithDomainNSSets reuses a precomputed per-domain NSSet key slice
+// (openintel.Engine.DomainNSSets) for the index build, skipping the
+// O(domains × set size) key recomputation. Ignored when WithNSIndex
+// supplies a finished index.
+func WithDomainNSSets(keys []nsset.Key) Option {
+	return func(p *Pipeline) { p.domainNSSets = keys }
+}
+
+// WithQuarantinedDays marks days without usable measurements at
+// construction (equivalent to calling SetQuarantinedDays afterwards).
+func WithQuarantinedDays(days []clock.Day) Option {
+	return func(p *Pipeline) {
+		for _, d := range days {
+			if p.quarantined == nil {
+				p.quarantined = make(map[clock.Day]bool, len(days))
+			}
+			p.quarantined[d] = true
+		}
+	}
+}
+
+// NewPipeline builds the join context over the world DB. All tuning —
+// configuration, measurement aggregator, metadata sources, engine
+// selection — arrives through options; the zero-option pipeline joins
+// with the paper's DefaultConfig against an empty aggregator and no
+// metadata (enrichment degrades gracefully).
+func NewPipeline(db *dnsdb.DB, opts ...Option) *Pipeline {
+	p := &Pipeline{
+		cfg: DefaultConfig(),
+		db:  db,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.agg == nil {
+		p.agg = nsset.NewAggregator()
+	}
+	if p.ix == nil {
+		p.ix = BuildNSIndex(db, p.domainNSSets)
+	}
+	if p.dayCache == nil {
+		p.dayCache = cache.NewLRU[clock.Day, *daySnapshot](defaultDayCacheSize)
+	}
+	if p.shardBits <= 0 {
+		p.shardBits = 16
+	}
+	if p.shardBits > 32 {
+		p.shardBits = 32
 	}
 	return p
 }
@@ -188,23 +324,33 @@ func (p *Pipeline) measurableDay(d clock.Day) clock.Day {
 	return d
 }
 
+// classifyVictim classifies a single victim address — the per-victim
+// core of Classify, shared with the indexed join engine (which
+// classifies each distinct victim once instead of once per attack).
+func (p *Pipeline) classifyVictim(v netx.Addr) (class Class, nsRecorded bool, ns dnsdb.NameserverID) {
+	if n, ok := p.db.NameserverByAddr(v); ok {
+		nsRecorded = true
+		ns = n.ID
+	}
+	switch {
+	case p.cfg.FilterOpenResolvers && p.openRes != nil && p.openRes.Contains(v):
+		class = ClassOpenResolver
+	case nsRecorded:
+		class = ClassDNSDirect
+	case p.ix.HasNSInSlash24(v):
+		class = ClassDNSSlash24
+	default:
+		class = ClassOther
+	}
+	return class, nsRecorded, ns
+}
+
 // Classify assigns each attack its target class (step 2 of the join).
 func (p *Pipeline) Classify(attacks []rsdos.Attack) []ClassifiedAttack {
 	out := make([]ClassifiedAttack, 0, len(attacks))
 	for _, a := range attacks {
-		ca := ClassifiedAttack{Attack: a, Class: ClassOther}
-		if ns, ok := p.db.NameserverByAddr(a.Victim); ok {
-			ca.NSRecorded = true
-			ca.NS = ns.ID
-		}
-		switch {
-		case p.cfg.FilterOpenResolvers && p.openRes != nil && p.openRes.Contains(a.Victim):
-			ca.Class = ClassOpenResolver
-		case ca.NSRecorded:
-			ca.Class = ClassDNSDirect
-		case p.slash24HasNS[a.Victim.Slash24()]:
-			ca.Class = ClassDNSSlash24
-		}
+		ca := ClassifiedAttack{Attack: a}
+		ca.Class, ca.NSRecorded, ca.NS = p.classifyVictim(a.Victim)
 		out = append(out, ca)
 	}
 	return out
@@ -256,10 +402,23 @@ func (p *Pipeline) Events(attacks []rsdos.Attack) []Event {
 	return out
 }
 
-// EventsContext is Events with cooperative cancellation, checked between
-// attacks. A cancelled join returns the events built so far together
-// with ctx.Err(); callers must treat such a slice as partial.
+// EventsContext is Events with cooperative cancellation. Both engines
+// share this signature and produce byte-identical results: the default
+// interval-indexed sharded engine (join.go), or the historical linear
+// scan when the pipeline was built WithLegacyJoin. A cancelled join
+// returns the events built so far together with ctx.Err(); callers must
+// treat such a slice as partial (and the two engines' partial prefixes
+// may differ — only completed joins are identical).
 func (p *Pipeline) EventsContext(ctx context.Context, attacks []rsdos.Attack) ([]Event, error) {
+	if p.legacyJoin {
+		return p.eventsLegacy(ctx, attacks)
+	}
+	return p.eventsIndexed(ctx, attacks)
+}
+
+// eventsLegacy is the reference join: a linear scan classifying every
+// attack, probing the aggregator window by window.
+func (p *Pipeline) eventsLegacy(ctx context.Context, attacks []rsdos.Attack) ([]Event, error) {
 	var out []Event
 	for i, ca := range p.Classify(attacks) {
 		if i&255 == 0 {
@@ -272,7 +431,7 @@ func (p *Pipeline) EventsContext(ctx context.Context, attacks []rsdos.Attack) ([
 		if ca.Class != ClassDNSDirect {
 			continue
 		}
-		for _, k := range p.nssetsByAddr[ca.Victim] {
+		for _, k := range p.ix.NSSetsContaining(ca.Victim) {
 			if e, ok := p.buildEvent(ca, k); ok {
 				out = append(out, e)
 			}
@@ -298,7 +457,7 @@ func (p *Pipeline) buildEvent(ca ClassifiedAttack, k nsset.Key) (Event, bool) {
 	e := Event{
 		Attack:        ca,
 		NSSet:         k,
-		HostedDomains: p.nssetDomains[k],
+		HostedDomains: p.ix.DomainCount(k),
 	}
 	impact := 0.0
 	hasImpact := false
@@ -389,10 +548,14 @@ func (p *Pipeline) DB() *dnsdb.DB { return p.db }
 // Aggregator returns the measurement aggregator.
 func (p *Pipeline) Aggregator() *nsset.Aggregator { return p.agg }
 
+// NSIndex returns the pipeline's immutable nameserver-side join index,
+// shareable across pipelines via WithNSIndex.
+func (p *Pipeline) NSIndex() *NSIndex { return p.ix }
+
 // NSSetsContaining returns the NSSets containing a nameserver address.
 func (p *Pipeline) NSSetsContaining(a netx.Addr) []nsset.Key {
-	return p.nssetsByAddr[a]
+	return p.ix.NSSetsContaining(a)
 }
 
 // NSSetDomainCount returns how many domains an NSSet hosts.
-func (p *Pipeline) NSSetDomainCount(k nsset.Key) int { return p.nssetDomains[k] }
+func (p *Pipeline) NSSetDomainCount(k nsset.Key) int { return p.ix.DomainCount(k) }

@@ -23,6 +23,7 @@ import (
 
 	"dnsddos/internal/dnswire"
 	"dnsddos/internal/obs"
+	"dnsddos/internal/resolver"
 	"dnsddos/internal/stats"
 )
 
@@ -67,6 +68,13 @@ type Config struct {
 	// the client-side fault-injection hook (e.g. a closure over
 	// faultinject.WrapDatagram for UDP or WrapStream for TCP).
 	Wrap func(net.Conn) net.Conn
+	// Client, when set, routes every query through this transport-
+	// agnostic resolver.Client instead of the raw socket engine — e.g. a
+	// *resolver.LiveResolver for load with retries and TC→TCP fallback,
+	// or a ClientFunc stub. The Client owns transport concerns, so
+	// Proto, EDNSPayload and Wrap are ignored; pacing, concurrency and
+	// outcome accounting work the same either way.
+	Client resolver.Client
 	// Metrics, when non-nil, receives live per-query observations under
 	// dnsload.* names (rtt histogram plus sent/received/failure-class
 	// counters) so a -metrics-addr endpoint can watch a run mid-flight.
@@ -353,11 +361,15 @@ func (s *sender) run() {
 			s.conn.Close()
 		}
 	}()
+	query := s.oneQuery
+	if s.cfg.Client != nil {
+		query = s.oneQueryClient
+	}
 	for qi := 0; s.next(); qi++ {
 		s.pace()
 		name := s.cfg.Names[qi%len(s.cfg.Names)]
 		s.id++
-		switch s.oneQuery(name) {
+		switch query(name) {
 		case failNone:
 		case failDial:
 			s.res.dialErrs++
@@ -483,6 +495,32 @@ func (s *sender) oneQuery(name string) failKind {
 		}
 		return failNone
 	}
+}
+
+// oneQueryClient issues one query through the configured resolver.Client
+// instead of the raw socket engine. The Client reports the RTT it
+// measured (for a LiveResolver that is the cumulative resolution time
+// including retries — the Eq. 1 RTT); failures classify by error type
+// (timeouts vs everything else; the Client owns dial/decode internals).
+func (s *sender) oneQueryClient(name string) failKind {
+	ctx, cancel := context.WithTimeout(s.ctx, s.timeout)
+	defer cancel()
+	s.res.sent++
+	s.m.sent.Inc()
+	msg, rtt, err := s.cfg.Client.Query(ctx, s.cfg.Addr, name, s.qtype)
+	if err != nil {
+		return classifyErr(err, false)
+	}
+	s.res.received++
+	s.m.received.Inc()
+	s.res.latencies = append(s.res.latencies, rtt.Seconds())
+	s.m.rtt.Observe(rtt)
+	s.res.rcodes[msg.Header.RCode]++
+	if msg.Header.Truncated {
+		s.res.truncated++
+		s.m.truncated.Inc()
+	}
+	return failNone
 }
 
 // classifyErr maps a transport error to a failure class. A deadline that

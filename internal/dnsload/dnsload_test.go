@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"dnsddos/internal/dnswire"
 	"dnsddos/internal/faultinject"
 	"dnsddos/internal/netx"
+	"dnsddos/internal/resolver"
 )
 
 // startServer brings up a small authoritative zone on loopback.
@@ -268,5 +270,58 @@ func TestPartialLossClassification(t *testing.T) {
 	if res.Received+res.Timeouts != res.Sent {
 		t.Errorf("classification leaks queries: recv %d + timeout %d != sent %d",
 			res.Received, res.Timeouts, res.Sent)
+	}
+}
+
+// TestRunWithClient routes the load through a resolver.Client instead of
+// raw sockets: accounting (sent/received/rcodes/truncated/timeouts) must
+// come from the client's answers, and no real connection is dialed — the
+// target address is never resolved.
+func TestRunWithClient(t *testing.T) {
+	var calls atomic.Int64
+	stub := resolver.ClientFunc(func(ctx context.Context, addr, name string, qtype dnswire.Type) (*dnswire.Message, time.Duration, error) {
+		if addr != "client.invalid:53" {
+			t.Errorf("client got addr %q", addr)
+		}
+		n := calls.Add(1)
+		if n%10 == 0 {
+			return nil, 0, context.DeadlineExceeded
+		}
+		msg := &dnswire.Message{}
+		msg.Header.Response = true
+		msg.Header.RCode = dnswire.RCodeNoError
+		if n%7 == 0 {
+			msg.Header.Truncated = true
+		}
+		return msg, 3 * time.Millisecond, nil
+	})
+	res, err := Run(context.Background(), Config{
+		Addr:        "client.invalid:53", // never dialed in client mode
+		Names:       []string{"load.example"},
+		Concurrency: 4,
+		Queries:     100,
+		Timeout:     time.Second,
+		Client:      stub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 100 {
+		t.Errorf("sent = %d, want 100", res.Sent)
+	}
+	if res.Received != 90 {
+		t.Errorf("received = %d, want 90 (10%% injected timeouts)", res.Received)
+	}
+	if res.Timeouts != 10 {
+		t.Errorf("timeouts = %d, want 10", res.Timeouts)
+	}
+	if res.Truncated == 0 {
+		t.Error("truncated answers must be counted in client mode")
+	}
+	if res.RCodes[dnswire.RCodeNoError] != 90 {
+		t.Errorf("rcodes = %v", res.RCodes)
+	}
+	if res.LatencyQuantile(0.5) != 3*time.Millisecond {
+		t.Errorf("p50 = %v, want the client-reported 3ms", res.LatencyQuantile(0.5))
 	}
 }

@@ -239,6 +239,16 @@ func (b *DayBaseline) merge(o *DayBaseline) {
 type Aggregator struct {
 	windows   map[Key]map[clock.Window]*WindowMetrics
 	baselines map[Key]map[clock.Day]*DayBaseline
+	// span tracks, per NSSet, the [min, max] retained-window range, so a
+	// Series consumer can clamp a probe loop to windows that can exist
+	// instead of probing an attack's whole span (the join engine's fast
+	// path).
+	span map[Key]windowSpan
+	// daywin buckets each NSSet's retained windows by calendar day.
+	// Measurements are sparse within an attack span (each domain is swept
+	// once a day), so iterating a day's actual windows beats probing
+	// every 5-minute window of the span — the join engine's inner loop.
+	daywin map[Key]map[clock.Day][]*WindowMetrics
 	// filter, when set, limits per-window metric retention; day
 	// baselines are always kept. Long longitudinal runs set it to the
 	// attack windows (plus margins) to bound memory, matching how the
@@ -251,6 +261,8 @@ func NewAggregator() *Aggregator {
 	return &Aggregator{
 		windows:   make(map[Key]map[clock.Window]*WindowMetrics),
 		baselines: make(map[Key]map[clock.Day]*DayBaseline),
+		span:      make(map[Key]windowSpan),
+		daywin:    make(map[Key]map[clock.Day][]*WindowMetrics),
 	}
 }
 
@@ -271,6 +283,7 @@ func (a *Aggregator) Add(k Key, t time.Time, status QueryStatus, rtt time.Durati
 		if m == nil {
 			m = &WindowMetrics{Window: w}
 			wm[w] = m
+			a.noteWindow(k, m)
 		}
 		m.addSample(status, rtt)
 	}
@@ -308,6 +321,7 @@ func (a *Aggregator) Merge(o *Aggregator) {
 			if t == nil {
 				cp := *m
 				dst[w] = &cp
+				a.noteWindow(k, &cp)
 				continue
 			}
 			t.merge(m)
@@ -334,6 +348,105 @@ func (a *Aggregator) Merge(o *Aggregator) {
 // Window returns the metrics for (k, w), or nil if nothing was measured.
 func (a *Aggregator) Window(k Key, w clock.Window) *WindowMetrics {
 	return a.windows[k][w]
+}
+
+// Series is a read-only view of one NSSet's per-window metrics. The join
+// engine fetches it once per (attack, NSSet) pair so the inner window
+// loop pays one cheap int-keyed lookup per window instead of re-hashing
+// the (string-keyed) NSSet on every probe. The view aliases the
+// aggregator's live maps; it must not be used while the aggregator is
+// being mutated.
+type Series struct {
+	m      map[clock.Window]*WindowMetrics
+	daywin map[clock.Day][]*WindowMetrics
+	span   windowSpan
+}
+
+// windowSpan is an inclusive [min, max] window range; min > max means
+// empty.
+type windowSpan struct{ min, max clock.Window }
+
+// noteWindow records a fresh window insertion: it widens k's
+// retained-window span and buckets the metrics pointer under its
+// calendar day. Called wherever a new *WindowMetrics enters the
+// aggregator (Add, Merge, AddSnapshot).
+func (a *Aggregator) noteWindow(k Key, m *WindowMetrics) {
+	w := m.Window
+	if s, ok := a.span[k]; !ok {
+		a.span[k] = windowSpan{min: w, max: w}
+	} else {
+		if w < s.min {
+			s.min = w
+		}
+		if w > s.max {
+			s.max = w
+		}
+		a.span[k] = s
+	}
+	dm := a.daywin[k]
+	if dm == nil {
+		dm = make(map[clock.Day][]*WindowMetrics)
+		a.daywin[k] = dm
+	}
+	// Keep each day bucket sorted by window so consumers can binary-search
+	// a span. Measurements arrive in sweep (time) order, so this insertion
+	// sort is almost always a plain append.
+	d := w.Day()
+	lst := append(dm[d], m)
+	for i := len(lst) - 1; i > 0 && lst[i-1].Window > w; i-- {
+		lst[i-1], lst[i] = lst[i], lst[i-1]
+	}
+	dm[d] = lst
+}
+
+// Series returns the window-metrics view for k. The zero view (NSSet
+// never measured) is valid: At returns nil for every window.
+func (a *Aggregator) Series(k Key) Series {
+	sp, ok := a.span[k]
+	if !ok {
+		sp = windowSpan{min: 1, max: 0} // empty
+	}
+	return Series{m: a.windows[k], daywin: a.daywin[k], span: sp}
+}
+
+// At returns the metrics for window w, or nil if nothing was measured.
+func (s Series) At(w clock.Window) *WindowMetrics { return s.m[w] }
+
+// Len returns the number of measured windows in the series.
+func (s Series) Len() int { return len(s.m) }
+
+// Clamp intersects [from, to] with the series' retained-window span. A
+// probe loop over the clamped range visits every window that can have
+// metrics; an empty intersection returns from > to.
+func (s Series) Clamp(from, to clock.Window) (clock.Window, clock.Window) {
+	if from < s.span.min {
+		from = s.span.min
+	}
+	if to > s.span.max {
+		to = s.span.max
+	}
+	return from, to
+}
+
+// DayWindows returns the measured windows of calendar day d, sorted
+// ascending by window. The slice is shared; treat it as read-only.
+// Iterating (or binary-searching) it beats probing At window by window
+// when measurements are sparse within the probed span.
+func (s Series) DayWindows(d clock.Day) []*WindowMetrics { return s.daywin[d] }
+
+// DayBaselines collects the day-d baseline of every NSSet measured on
+// that day. It is the build step of the join engine's per-day snapshot
+// index (O(#NSSets), amortized by the LRU day cache); the returned map is
+// freshly allocated, but the *DayBaseline values alias the aggregator's
+// live aggregates and must be treated as read-only.
+func (a *Aggregator) DayBaselines(d clock.Day) map[Key]*DayBaseline {
+	out := make(map[Key]*DayBaseline)
+	for k, bm := range a.baselines {
+		if b, ok := bm[d]; ok {
+			out[k] = b
+		}
+	}
+	return out
 }
 
 // Baseline returns the day aggregate for (k, d), or nil.

@@ -90,6 +90,7 @@ func (a *Aggregator) AddSnapshot(s Snapshot) {
 		} else {
 			cp := ws.M
 			wm[ws.M.Window] = &cp
+			a.noteWindow(ws.Key, &cp)
 		}
 	}
 	for i := range s.Baselines {

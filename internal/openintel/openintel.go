@@ -61,6 +61,13 @@ func NewEngine(db *dnsdb.DB, res *resolver.Resolver, seed uint64) *Engine {
 // NSSetOf returns the cached NSSet key of a domain.
 func (e *Engine) NSSetOf(d dnsdb.DomainID) nsset.Key { return e.nssets[d] }
 
+// DomainNSSets returns the engine's per-domain NSSet key cache, indexed
+// by DomainID. Building these keys is O(domains × set size); the join
+// pipeline reuses this cache (core.WithDomainNSSets) instead of
+// recomputing it from the DB. The returned slice is shared and must be
+// treated as read-only.
+func (e *Engine) DomainNSSets() []nsset.Key { return e.nssets }
+
 // MeasureAt measures one domain at time t and returns the record.
 func (e *Engine) MeasureAt(rng *rand.Rand, d dnsdb.DomainID, t time.Time) Record {
 	o := e.res.Resolve(rng, d, t)

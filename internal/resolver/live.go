@@ -12,6 +12,7 @@ import (
 	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math/rand/v2"
 	"net"
 	"sync"
@@ -240,6 +241,18 @@ func (r *LiveResolver) Resolve(ctx context.Context, addrs []string, name string,
 	return LiveOutcome{Status: st, Tries: tries, Server: last}
 }
 
+// Query implements the Client interface: one full retrying resolution
+// against a single server address. A non-OK outcome (all tries timed out
+// or failed) surfaces as an error; the RTT on success is the cumulative
+// resolution time including retries and backoff (the Eq. 1 RTT).
+func (r *LiveResolver) Query(ctx context.Context, addr, name string, qtype dnswire.Type) (*dnswire.Message, time.Duration, error) {
+	o := r.Resolve(ctx, []string{addr}, name, qtype)
+	if o.Status != nsset.StatusOK {
+		return nil, 0, fmt.Errorf("resolver: live query %s for %s: %s after %d tries", addr, name, o.Status, o.Tries)
+	}
+	return o.Msg, o.RTT, nil
+}
+
 // tryOnce runs one attempt: UDP query, rcode classification, TC→TCP
 // fallback when configured.
 func (r *LiveResolver) tryOnce(ctx context.Context, client *UDPClient, addr, name string, qtype dnswire.Type) (*dnswire.Message, bool, tryStatus) {
@@ -253,7 +266,7 @@ func (r *LiveResolver) tryOnce(ctx context.Context, client *UDPClient, addr, nam
 	}
 	if msg.Header.Truncated && r.cfg.TCPFallback {
 		tc := &TCPClient{Timeout: r.cfg.PerTryTimeout, Wrap: r.cfg.WrapTCP}
-		full, terr := tc.Query(ctx, addr, name, qtype)
+		full, _, terr := tc.Query(ctx, addr, name, qtype)
 		if terr != nil {
 			var nerr net.Error
 			if errors.As(terr, &nerr) && nerr.Timeout() {

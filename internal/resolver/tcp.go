@@ -25,20 +25,22 @@ type TCPClient struct {
 	Wrap func(net.Conn) net.Conn
 }
 
-// Query sends one question over TCP and returns the decoded response.
-// The response ID must match the query ID (anti-spoofing, mirroring the
-// UDP client's check).
-func (c *TCPClient) Query(ctx context.Context, addr, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+// Query sends one question over TCP and returns the decoded response and
+// the round-trip time of the whole exchange (dial through decode — what a
+// stub resolver falling back to TCP experiences). The response ID must
+// match the query ID (anti-spoofing, mirroring the UDP client's check).
+func (c *TCPClient) Query(ctx context.Context, addr, name string, qtype dnswire.Type) (*dnswire.Message, time.Duration, error) {
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
+	start := time.Now()
 	dctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	var d net.Dialer
 	conn, err := d.DialContext(dctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("resolver: tcp dial %s: %w", addr, err)
+		return nil, 0, fmt.Errorf("resolver: tcp dial %s: %w", addr, err)
 	}
 	defer conn.Close()
 	if c.Wrap != nil {
@@ -49,38 +51,39 @@ func (c *TCPClient) Query(ctx context.Context, addr, name string, qtype dnswire.
 		deadline = dl
 	}
 	if err := conn.SetDeadline(deadline); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var idb [2]byte
 	if _, err := rand.Read(idb[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	id := binary.BigEndian.Uint16(idb[:])
 	q := dnswire.NewQuery(id, name, qtype)
 	wire, err := dnswire.Encode(q)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	framed := make([]byte, 2+len(wire))
 	binary.BigEndian.PutUint16(framed, uint16(len(wire)))
 	copy(framed[2:], wire)
 	if _, err := conn.Write(framed); err != nil {
-		return nil, fmt.Errorf("resolver: tcp send: %w", err)
+		return nil, 0, fmt.Errorf("resolver: tcp send: %w", err)
 	}
 	var lenb [2]byte
 	if _, err := io.ReadFull(conn, lenb[:]); err != nil {
-		return nil, fmt.Errorf("resolver: tcp recv: %w", err)
+		return nil, 0, fmt.Errorf("resolver: tcp recv: %w", err)
 	}
 	buf := make([]byte, binary.BigEndian.Uint16(lenb[:]))
 	if _, err := io.ReadFull(conn, buf); err != nil {
-		return nil, fmt.Errorf("resolver: tcp recv: %w", err)
+		return nil, 0, fmt.Errorf("resolver: tcp recv: %w", err)
 	}
+	rtt := time.Since(start)
 	m, err := dnswire.Decode(buf)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if m.Header.ID != id {
-		return nil, fmt.Errorf("resolver: tcp response ID %#04x does not match query ID %#04x", m.Header.ID, id)
+		return nil, 0, fmt.Errorf("resolver: tcp response ID %#04x does not match query ID %#04x", m.Header.ID, id)
 	}
-	return m, nil
+	return m, rtt, nil
 }

@@ -97,9 +97,10 @@ func (c *UDPClient) Query(ctx context.Context, addr, name string, qtype dnswire.
 
 // QueryWithTCPFallback queries over UDP and, when the server truncates the
 // answer (TC bit — responses past the 512-byte classic limit, §6.2),
-// retries the same question over TCP. The returned RTT covers the full
-// exchange, as a stub resolver experiences it.
-func (c *UDPClient) QueryWithTCPFallback(ctx context.Context, addr, name string, qtype dnswire.Type, tcpQuery func(context.Context, string, string, dnswire.Type) (*dnswire.Message, error)) (*dnswire.Message, time.Duration, error) {
+// retries the same question through tcp — any Client, normally a
+// *TCPClient. The returned RTT covers the full exchange, as a stub
+// resolver experiences it.
+func (c *UDPClient) QueryWithTCPFallback(ctx context.Context, addr, name string, qtype dnswire.Type, tcp Client) (*dnswire.Message, time.Duration, error) {
 	m, rtt, err := c.Query(ctx, addr, name, qtype)
 	if err != nil {
 		return nil, 0, err
@@ -108,7 +109,7 @@ func (c *UDPClient) QueryWithTCPFallback(ctx context.Context, addr, name string,
 		return m, rtt, nil
 	}
 	start := time.Now()
-	full, err := tcpQuery(ctx, addr, name, qtype)
+	full, _, err := tcp.Query(ctx, addr, name, qtype)
 	if err != nil {
 		return nil, 0, fmt.Errorf("resolver: tcp fallback: %w", err)
 	}

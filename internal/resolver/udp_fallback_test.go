@@ -51,8 +51,7 @@ func TestQueryWithTCPFallback(t *testing.T) {
 
 	// with fallback: the full RRset arrives over TCP
 	tcp := &resolver.TCPClient{Timeout: 2 * time.Second}
-	full, rtt, err := client.QueryWithTCPFallback(ctx, addr, "big.example", dnswire.TypeNS,
-		tcp.Query)
+	full, rtt, err := client.QueryWithTCPFallback(ctx, addr, "big.example", dnswire.TypeNS, tcp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,9 +73,9 @@ func TestQueryWithTCPFallbackErrors(t *testing.T) {
 	client := &resolver.UDPClient{Timeout: 2 * time.Second}
 	boom := errors.New("tcp path down")
 	_, _, err := client.QueryWithTCPFallback(context.Background(), addr, "big.example", dnswire.TypeNS,
-		func(context.Context, string, string, dnswire.Type) (*dnswire.Message, error) {
-			return nil, boom
-		})
+		resolver.ClientFunc(func(context.Context, string, string, dnswire.Type) (*dnswire.Message, time.Duration, error) {
+			return nil, 0, boom
+		}))
 	if !errors.Is(err, boom) {
 		t.Fatalf("fallback error lost: %v", err)
 	}
@@ -89,10 +88,10 @@ func TestQueryWithTCPFallbackSkipsTCPWhenWhole(t *testing.T) {
 	client := &resolver.UDPClient{Timeout: 2 * time.Second}
 	called := false
 	m, _, err := client.QueryWithTCPFallback(context.Background(), addr, "big.example", dnswire.TypeNS,
-		func(context.Context, string, string, dnswire.Type) (*dnswire.Message, error) {
+		resolver.ClientFunc(func(context.Context, string, string, dnswire.Type) (*dnswire.Message, time.Duration, error) {
 			called = true
-			return nil, nil
-		})
+			return nil, 0, nil
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -113,7 +113,7 @@ func TestValidateErrorsNameField(t *testing.T) {
 func TestRunContextRejectsInvalidConfig(t *testing.T) {
 	cfg := QuickConfig()
 	cfg.World.Domains = 0
-	if _, err := RunContext(context.Background(), cfg, Options{}); err == nil {
+	if _, err := RunContext(context.Background(), cfg); err == nil {
 		t.Fatal("invalid config accepted by RunContext")
 	}
 }

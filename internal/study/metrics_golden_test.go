@@ -54,11 +54,11 @@ func TestRunMetricsByteIdenticalAcrossRuns(t *testing.T) {
 		t.Skip("integration test")
 	}
 	cfg := metricsConfig()
-	a, err := RunContext(context.Background(), cfg, Options{})
+	a, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunContext(context.Background(), cfg, Options{Metrics: obs.New()})
+	b, err := RunContext(context.Background(), cfg, WithMetrics(obs.New()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestRunMetricsGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test")
 	}
-	s, err := RunContext(context.Background(), metricsConfig(), Options{})
+	s, err := RunContext(context.Background(), metricsConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,103 @@
+package study
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"dnsddos/internal/clock"
+)
+
+// parity_test.go is the contract test for the interval-indexed join
+// engine: on identical seeded worlds the sharded, indexed EventsContext
+// and the legacy linear-scan path (core.WithLegacyJoin) must emit
+// byte-identical events and run reports. Three configurations cover the
+// interesting regimes — the default quick world, a skewed small world
+// with different seeds, and a run with quarantined days (where the join
+// falls back across missing snapshots, §4.2).
+
+// reportJSON serializes the run report the way cmd/report archives it.
+func reportJSON(t *testing.T, s *Study) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(&s.Report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runBothEngines executes the same config through the indexed and the
+// legacy engine and asserts byte-identical events CSV and report JSON.
+// extra options (fault injection, parallelism) apply to both runs.
+func runBothEngines(t *testing.T, name string, cfg Config, extra ...Option) {
+	t.Helper()
+	indexed, err := RunContext(context.Background(), cfg, extra...)
+	if err != nil {
+		t.Fatalf("%s: indexed run: %v", name, err)
+	}
+	legacy, err := RunContext(context.Background(), cfg, append(extra[:len(extra):len(extra)], WithLegacyJoin())...)
+	if err != nil {
+		t.Fatalf("%s: legacy run: %v", name, err)
+	}
+	if len(indexed.Events) == 0 {
+		t.Fatalf("%s: indexed engine joined no events; the comparison would be vacuous", name)
+	}
+	if !bytes.Equal(eventsBytes(t, indexed), eventsBytes(t, legacy)) {
+		t.Errorf("%s: indexed and legacy join engines emitted different events", name)
+	}
+	// panic stacks embed goroutine addresses, so they are the one field
+	// legitimately different between two otherwise identical runs
+	for i := range indexed.Report.SkippedDays {
+		indexed.Report.SkippedDays[i].Stack = ""
+	}
+	for i := range legacy.Report.SkippedDays {
+		legacy.Report.SkippedDays[i].Stack = ""
+	}
+	if !bytes.Equal(reportJSON(t, indexed), reportJSON(t, legacy)) {
+		t.Errorf("%s: indexed and legacy run reports differ", name)
+	}
+}
+
+// TestJoinEngineParity is the acceptance gate for the indexed engine:
+// same world, same schedule, same events — byte for byte — whichever
+// engine performs the join.
+func TestJoinEngineParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+
+	t.Run("transip_window", func(t *testing.T) {
+		runBothEngines(t, "transip_window", resumeConfig())
+	})
+
+	t.Run("reseeded_small_world", func(t *testing.T) {
+		cfg := QuickConfig()
+		cfg.World.Domains = 1800
+		cfg.World.GenericProviders = 25
+		cfg.World.Seed = 1013
+		cfg.Attacks.TotalAttacks = 2200
+		cfg.Attacks.Seed = 77
+		cfg.MeasureSeed = 9001
+		cfg.FromDay, cfg.ToDay = 20, 75
+		runBothEngines(t, "reseeded_small_world", cfg)
+	})
+
+	// quarantined day: a deterministically panicking shard is retried
+	// once and quarantined in both runs, so both joins must fall back to
+	// the nearest earlier measurable day for it — identically.
+	t.Run("quarantined_day", func(t *testing.T) {
+		cfg := resumeConfig()
+		cfg.Parallelism = 1
+		target := clock.Day(29)
+		var mu sync.Mutex
+		runBothEngines(t, "quarantined_day", cfg, WithBeforeDay(func(d clock.Day) {
+			if d == target {
+				mu.Lock()
+				defer mu.Unlock()
+				panic("injected parity fault")
+			}
+		}))
+	})
+}

@@ -23,16 +23,14 @@ func TestPanicQuarantine(t *testing.T) {
 	target := clock.Day(29)
 	var mu sync.Mutex
 	calls := 0
-	s, err := RunContext(context.Background(), cfg, Options{
-		BeforeDay: func(d clock.Day) {
-			if d == target {
-				mu.Lock()
-				calls++
-				mu.Unlock()
-				panic("injected fault")
-			}
-		},
-	})
+	s, err := RunContext(context.Background(), cfg, WithBeforeDay(func(d clock.Day) {
+		if d == target {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			panic("injected fault")
+		}
+	}))
 	if err != nil {
 		t.Fatalf("a panicking day-shard failed the whole run: %v", err)
 	}
@@ -72,26 +70,24 @@ func TestPanicRetryRecovers(t *testing.T) {
 	}
 	cfg := resumeConfig()
 
-	ref, err := RunContext(context.Background(), cfg, Options{})
+	ref, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var mu sync.Mutex
 	n := 0
-	s, err := RunContext(context.Background(), cfg, Options{
-		BeforeDay: func(d clock.Day) {
-			if d == 29 {
-				mu.Lock()
-				n++
-				first := n == 1
-				mu.Unlock()
-				if first {
-					panic("transient fault")
-				}
+	s, err := RunContext(context.Background(), cfg, WithBeforeDay(func(d clock.Day) {
+		if d == 29 {
+			mu.Lock()
+			n++
+			first := n == 1
+			mu.Unlock()
+			if first {
+				panic("transient fault")
 			}
-		},
-	})
+		}
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,14 +112,13 @@ func TestWatchdogQuarantinesStuckShard(t *testing.T) {
 	cfg := resumeConfig()
 	cfg.Parallelism = 1
 	target := clock.Day(30)
-	s, err := RunContext(context.Background(), cfg, Options{
-		ShardTimeout: 100 * time.Millisecond,
-		BeforeDay: func(d clock.Day) {
+	s, err := RunContext(context.Background(), cfg,
+		WithShardTimeout(100*time.Millisecond),
+		WithBeforeDay(func(d clock.Day) {
 			if d == target {
 				time.Sleep(400 * time.Millisecond)
 			}
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatalf("a stuck day-shard failed the whole run: %v", err)
 	}

@@ -42,7 +42,7 @@ func TestCancelAndResumeByteIdentical(t *testing.T) {
 	}
 	cfg := resumeConfig()
 
-	ref, err := RunContext(context.Background(), cfg, Options{})
+	ref, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,15 +60,14 @@ func TestCancelAndResumeByteIdentical(t *testing.T) {
 	killCfg := cfg
 	killCfg.Parallelism = 1
 	n := 0
-	_, err = RunContext(ctx, killCfg, Options{
-		CheckpointDir: dir,
-		BeforeDay: func(clock.Day) {
+	_, err = RunContext(ctx, killCfg,
+		WithCheckpointDir(dir),
+		WithBeforeDay(func(clock.Day) {
 			n++
 			if n == 3 {
 				cancel()
 			}
-		},
-	})
+		}))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("killed run error = %v, want context.Canceled", err)
 	}
@@ -82,7 +81,7 @@ func TestCancelAndResumeByteIdentical(t *testing.T) {
 
 	// resume with the original parallelism: the header hash ignores
 	// Parallelism, so a resume on different hardware is legitimate
-	res, err := RunContext(context.Background(), cfg, Options{CheckpointDir: dir, Resume: true})
+	res, err := RunContext(context.Background(), cfg, WithCheckpointDir(dir), WithResume(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,12 +144,12 @@ func TestResumeRefusesCorruptCheckpoints(t *testing.T) {
 	cfg.FromDay, cfg.ToDay = 27, 29
 
 	seed := t.TempDir()
-	if _, err := RunContext(context.Background(), cfg, Options{CheckpointDir: seed}); err != nil {
+	if _, err := RunContext(context.Background(), cfg, WithCheckpointDir(seed)); err != nil {
 		t.Fatal(err)
 	}
 
 	resume := func(dir string, c Config) error {
-		_, err := RunContext(context.Background(), c, Options{CheckpointDir: dir, Resume: true})
+		_, err := RunContext(context.Background(), c, WithCheckpointDir(dir), WithResume(true))
 		return err
 	}
 

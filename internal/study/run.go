@@ -32,33 +32,104 @@ import (
 // an optional watchdog deadline, and durable per-day checkpoints so a
 // killed run resumes from the last completed day (DESIGN §3.2).
 
-// Options tunes the supervised run loop; the zero value reproduces the
-// historical Run behaviour (no checkpoints, no watchdog).
-type Options struct {
-	// CheckpointDir, when non-empty, persists every completed day-shard
+// options tunes the supervised run loop; the zero value reproduces the
+// historical Run behaviour (no checkpoints, no watchdog). Callers set
+// fields through the With... functional options, so new knobs never
+// break RunContext call sites.
+type options struct {
+	// checkpointDir, when non-empty, persists every completed day-shard
 	// to a CRC-guarded journal in this directory (internal/checkpoint).
-	CheckpointDir string
-	// Resume restarts from the checkpoints in CheckpointDir instead of
+	checkpointDir string
+	// resume restarts from the checkpoints in checkpointDir instead of
 	// day 0. The directory's header (config hash + seed) must match the
 	// current configuration; a mismatch is refused with an error.
-	Resume bool
-	// ShardTimeout is the per-day-shard watchdog deadline: a sweep that
+	resume bool
+	// shardTimeout is the per-day-shard watchdog deadline: a sweep that
 	// exceeds it is cancelled and quarantined instead of hanging the
 	// whole run. Zero disables the watchdog.
-	ShardTimeout time.Duration
-	// BeforeDay, when set, runs at the start of every day-shard attempt,
+	shardTimeout time.Duration
+	// beforeDay, when set, runs at the start of every day-shard attempt,
 	// inside the shard's panic isolation. It exists for progress
 	// reporting and fault injection (the chaos suite panics or stalls
 	// here); a panic in the hook quarantines the day like any other.
-	BeforeDay func(clock.Day)
-	// Metrics, when non-nil, receives the run's observations under
-	// study.* names so a cmd can serve them over -metrics-addr while the
-	// run is in flight. Nil makes the run observe into a private
-	// registry; either way the deterministic subset ends up in
-	// RunReport.Metrics. Sweep outcome counts and simulated RTTs are
-	// stable (seeded data plane, commutative merge); wall-clock stage
-	// timings register as volatile and stay out of the stable snapshot.
-	Metrics *obs.Registry
+	beforeDay func(clock.Day)
+	// metrics, when non-nil, receives the run's observations under
+	// study.* and core.join.* names so a cmd can serve them over
+	// -metrics-addr while the run is in flight. Nil makes the run
+	// observe into a private registry; either way the deterministic
+	// subset ends up in RunReport.Metrics. Sweep outcome counts and
+	// simulated RTTs are stable (seeded data plane, commutative merge);
+	// wall-clock timings and join-engine internals register as volatile
+	// and stay out of the stable snapshot.
+	metrics *obs.Registry
+	// workers overrides Config.Parallelism for the sweep worker pool
+	// (0 = use the config).
+	workers int
+	// indexCacheSize bounds the join engine's LRU day-snapshot cache
+	// (0 = engine default, negative = unbounded).
+	indexCacheSize int
+	// shardBits is the victim-prefix width the join engine shards by
+	// (0 = engine default /16).
+	shardBits int
+	// legacyJoin selects the historical linear-scan join engine.
+	legacyJoin bool
+}
+
+// Option configures one RunContext knob.
+type Option func(*options)
+
+// WithCheckpointDir persists every completed day-shard to a CRC-guarded
+// journal in dir (internal/checkpoint).
+func WithCheckpointDir(dir string) Option {
+	return func(o *options) { o.checkpointDir = dir }
+}
+
+// WithResume restarts from the checkpoints in the checkpoint directory
+// instead of day 0; the directory's header (config hash + seed) must
+// match the current configuration.
+func WithResume(resume bool) Option {
+	return func(o *options) { o.resume = resume }
+}
+
+// WithShardTimeout arms the per-day-shard watchdog: a sweep exceeding d
+// is cancelled and quarantined instead of hanging the run.
+func WithShardTimeout(d time.Duration) Option {
+	return func(o *options) { o.shardTimeout = d }
+}
+
+// WithBeforeDay runs f at the start of every day-shard attempt, inside
+// the shard's panic isolation (progress reporting, fault injection).
+func WithBeforeDay(f func(clock.Day)) Option {
+	return func(o *options) { o.beforeDay = f }
+}
+
+// WithMetrics observes the run into reg so a live /metrics.json can
+// serve it mid-run; nil keeps the default private registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(o *options) { o.metrics = reg }
+}
+
+// WithWorkers overrides Config.Parallelism for the sweep worker pool.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithIndexCacheSize bounds the join engine's LRU day-snapshot cache
+// (core.WithDayCacheSize); 0 keeps the engine default.
+func WithIndexCacheSize(n int) Option {
+	return func(o *options) { o.indexCacheSize = n }
+}
+
+// WithShardBits sets the victim-prefix width the join engine shards by
+// (core.WithShardBits); 0 keeps the engine default of /16.
+func WithShardBits(bits int) Option {
+	return func(o *options) { o.shardBits = bits }
+}
+
+// WithLegacyJoin runs the join with the historical linear-scan engine
+// instead of the interval-indexed sharded engine.
+func WithLegacyJoin() Option {
+	return func(o *options) { o.legacyJoin = true }
 }
 
 // SkippedDay records one quarantined day-shard.
@@ -116,18 +187,22 @@ func ConfigHash(cfg Config) (string, error) {
 // RunContext executes the full study under supervision. It cancels
 // cleanly when ctx does (between phases, between day-shards, and every
 // few hundred domains inside a sweep), checkpoints completed days when
-// opts.CheckpointDir is set, and isolates day-shard failures: a
+// WithCheckpointDir is set, and isolates day-shard failures: a
 // panicking day is retried once and then quarantined into
 // Study.Report.SkippedDays with its stack, while the join falls back to
 // the nearest earlier measurable day for quarantined days. The returned
 // error is non-nil only for cancellation, invalid configuration, or
 // checkpoint I/O failure — a panicking or stuck day-shard never fails
 // the run.
-func RunContext(ctx context.Context, cfg Config, opts Options) (*Study, error) {
+func RunContext(ctx context.Context, cfg Config, optFns ...Option) (*Study, error) {
 	if err := Validate(cfg); err != nil {
 		return nil, err
 	}
-	s := &Study{Config: cfg, Metrics: opts.Metrics}
+	var opts options
+	for _, o := range optFns {
+		o(&opts)
+	}
+	s := &Study{Config: cfg, Metrics: opts.metrics}
 	if s.Metrics == nil {
 		s.Metrics = obs.New()
 	}
@@ -159,14 +234,14 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*Study, error) {
 
 	var ckpt *checkpoint.Dir
 	done := make(map[clock.Day]bool)
-	if opts.CheckpointDir != "" {
+	if opts.checkpointDir != "" {
 		hash, err := ConfigHash(cfg)
 		if err != nil {
 			return nil, err
 		}
 		hdr := checkpoint.Header{ConfigHash: hash, Seed: cfg.MeasureSeed}
-		if opts.Resume {
-			if ckpt, err = checkpoint.Resume(opts.CheckpointDir, hdr); err != nil {
+		if opts.resume {
+			if ckpt, err = checkpoint.Resume(opts.checkpointDir, hdr); err != nil {
 				return nil, err
 			}
 			snaps, err := ckpt.LoadDays(cfg.FromDay, cfg.ToDay)
@@ -178,7 +253,7 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*Study, error) {
 				done[d] = true
 			}
 			s.Report.ResumedDays = len(snaps)
-		} else if ckpt, err = checkpoint.Create(opts.CheckpointDir, hdr); err != nil {
+		} else if ckpt, err = checkpoint.Create(opts.checkpointDir, hdr); err != nil {
 			return nil, err
 		}
 	}
@@ -190,7 +265,27 @@ func RunContext(ctx context.Context, cfg Config, opts Options) (*Study, error) {
 	stage("sweep", t0)
 
 	t0 = time.Now()
-	s.Pipeline = core.NewPipeline(cfg.Pipeline, s.World.DB, s.Agg, s.World.Census, s.World.Topo, s.World.OpenRes)
+	pipeOpts := []core.Option{
+		core.WithConfig(cfg.Pipeline),
+		core.WithAggregator(s.Agg),
+		core.WithCensus(s.World.Census),
+		core.WithTopology(s.World.Topo),
+		core.WithOpenResolvers(s.World.OpenRes),
+		// Reuse the measurement engine's per-domain NSSet keys so the
+		// join index build skips recomputing them from the DB.
+		core.WithDomainNSSets(s.Engine.DomainNSSets()),
+		core.WithMetrics(s.Metrics),
+	}
+	if opts.indexCacheSize != 0 {
+		pipeOpts = append(pipeOpts, core.WithDayCacheSize(opts.indexCacheSize))
+	}
+	if opts.shardBits != 0 {
+		pipeOpts = append(pipeOpts, core.WithShardBits(opts.shardBits))
+	}
+	if opts.legacyJoin {
+		pipeOpts = append(pipeOpts, core.WithLegacyJoin())
+	}
+	s.Pipeline = core.NewPipeline(s.World.DB, pipeOpts...)
 	if q := s.Report.QuarantinedDays(); len(q) > 0 {
 		s.Pipeline.SetQuarantinedDays(q)
 	}
@@ -255,7 +350,7 @@ func (m sweepMetrics) observe(rec openintel.Record) {
 // merged — in whatever order shards complete, which is safe because the
 // merge is commutative. Days already restored from checkpoints (done)
 // are not re-run.
-func (s *Study) runSweepsSupervised(ctx context.Context, opts Options, filter func(clock.Window) bool, ckpt *checkpoint.Dir, done map[clock.Day]bool) error {
+func (s *Study) runSweepsSupervised(ctx context.Context, opts options, filter func(clock.Window) bool, ckpt *checkpoint.Dir, done map[clock.Day]bool) error {
 	from, to := s.Config.FromDay, s.Config.ToDay
 	if to < from {
 		return nil
@@ -269,7 +364,10 @@ func (s *Study) runSweepsSupervised(ctx context.Context, opts Options, filter fu
 	if len(days) == 0 {
 		return ctx.Err()
 	}
-	par := s.Config.Parallelism
+	par := opts.workers
+	if par <= 0 {
+		par = s.Config.Parallelism
+	}
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
@@ -343,7 +441,7 @@ dispatch:
 // (nil, nil, nil) return means the shard was abandoned because ctx was
 // cancelled. On success the shard's private metric registry rides along
 // so the caller can merge it exactly once.
-func (s *Study) runDayShard(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (*nsset.Aggregator, *obs.Registry, *SkippedDay) {
+func (s *Study) runDayShard(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts options) (*nsset.Aggregator, *obs.Registry, *SkippedDay) {
 	const maxAttempts = 2
 	for attempt := 1; ; attempt++ {
 		if ctx.Err() != nil {
@@ -361,8 +459,8 @@ func (s *Study) runDayShard(ctx context.Context, day clock.Day, filter func(cloc
 }
 
 // sweepDayOnce runs a single attempt, under the watchdog when enabled.
-func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (*nsset.Aggregator, *obs.Registry, *SkippedDay) {
-	if opts.ShardTimeout <= 0 {
+func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts options) (*nsset.Aggregator, *obs.Registry, *SkippedDay) {
+	if opts.shardTimeout <= 0 {
 		return s.sweepAttempt(ctx, day, filter, opts)
 	}
 	dctx, cancel := context.WithCancel(ctx)
@@ -377,7 +475,7 @@ func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clo
 		a, sreg, sk := s.sweepAttempt(dctx, day, filter, opts)
 		ch <- result{a, sreg, sk}
 	}()
-	timer := time.NewTimer(opts.ShardTimeout)
+	timer := time.NewTimer(opts.shardTimeout)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
@@ -389,7 +487,7 @@ func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clo
 		cancel()
 		return nil, nil, &SkippedDay{
 			Day:    day,
-			Reason: fmt.Sprintf("watchdog: day-shard exceeded %v", opts.ShardTimeout),
+			Reason: fmt.Sprintf("watchdog: day-shard exceeded %v", opts.shardTimeout),
 		}
 	}
 }
@@ -400,7 +498,7 @@ func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clo
 // their stack instead of crashing the run; the half-filled registry is
 // discarded with the aggregator, keeping retries exactly-once. A
 // (nil, nil, nil) return means ctx was cancelled.
-func (s *Study) sweepAttempt(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts Options) (agg *nsset.Aggregator, sreg *obs.Registry, sk *SkippedDay) {
+func (s *Study) sweepAttempt(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts options) (agg *nsset.Aggregator, sreg *obs.Registry, sk *SkippedDay) {
 	defer func() {
 		if r := recover(); r != nil {
 			agg, sreg = nil, nil
@@ -411,8 +509,8 @@ func (s *Study) sweepAttempt(ctx context.Context, day clock.Day, filter func(clo
 			}
 		}
 	}()
-	if opts.BeforeDay != nil {
-		opts.BeforeDay(day)
+	if opts.beforeDay != nil {
+		opts.beforeDay(day)
 	}
 	a := nsset.NewAggregator()
 	a.SetWindowFilter(filter)

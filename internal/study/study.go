@@ -104,7 +104,7 @@ type Study struct {
 	// Report summarizes the supervised run loop: resumed, completed and
 	// quarantined day-shards.
 	Report RunReport
-	// Metrics is the registry the run observed into (Options.Metrics, or
+	// Metrics is the registry the run observed into (WithMetrics, or
 	// a private one). It stays live after RunContext returns, so a
 	// -metrics-addr endpoint keeps serving final values.
 	Metrics *obs.Registry
@@ -114,8 +114,13 @@ type Study struct {
 // the historical entry point, kept as a thin wrapper over RunContext.
 // It panics on an invalid configuration (RunContext returns the error
 // instead).
+//
+// Deprecated: use RunContext, the canonical entry point — it takes a
+// context, returns errors instead of panicking, and accepts the
+// With... functional options (checkpoints, watchdog, join-engine
+// tuning).
 func Run(cfg Config) *Study {
-	s, err := RunContext(context.Background(), cfg, Options{})
+	s, err := RunContext(context.Background(), cfg)
 	if err != nil {
 		// With a background context and no checkpoint/resume options the
 		// only possible failure is an invalid configuration.
@@ -144,4 +149,3 @@ func (s *Study) windowFilter() func(clock.Window) bool {
 		return ok
 	}
 }
-

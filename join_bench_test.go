@@ -1,0 +1,69 @@
+// join_bench_test.go benchmarks the two join engines head to head on the
+// shared benchmark study (the default mid-size worldgen scale): the
+// interval-indexed sharded engine versus the legacy per-event linear
+// scan (core.WithLegacyJoin). Run via `make bench-join`, which archives
+// the numbers in BENCH_join.json; `make test` runs a -benchtime=1x smoke
+// so the harness itself cannot rot.
+package dnsddos_test
+
+import (
+	"context"
+	"testing"
+
+	"dnsddos/internal/core"
+)
+
+// joinPipeline builds a pipeline over the shared study's world with the
+// given engine options. Index construction happens here (once), matching
+// production use where one pipeline serves many joins.
+func joinPipeline(b *testing.B, opts ...core.Option) *core.Pipeline {
+	b.Helper()
+	s := benchStudy(b)
+	base := []core.Option{
+		core.WithConfig(s.Config.Pipeline),
+		core.WithAggregator(s.Agg),
+		core.WithCensus(s.World.Census),
+		core.WithTopology(s.World.Topo),
+		core.WithOpenResolvers(s.World.OpenRes),
+		core.WithDomainNSSets(s.Engine.DomainNSSets()),
+	}
+	return core.NewPipeline(s.World.DB, append(base, opts...)...)
+}
+
+// BenchmarkJoin measures one full attack×snapshot join (§4.2) over the
+// 17-month schedule. The acceptance bar for the indexed engine is ≥5x
+// over legacy at this scale.
+func BenchmarkJoin(b *testing.B) {
+	s := benchStudy(b)
+	ctx := context.Background()
+
+	b.Run("indexed", func(b *testing.B) {
+		p := joinPipeline(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			events, err := p.EventsContext(ctx, s.Attacks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(events) == 0 {
+				b.Fatal("indexed join produced no events")
+			}
+		}
+	})
+
+	b.Run("legacy", func(b *testing.B) {
+		p := joinPipeline(b, core.WithLegacyJoin())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			events, err := p.EventsContext(ctx, s.Attacks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(events) == 0 {
+				b.Fatal("legacy join produced no events")
+			}
+		}
+	})
+}
