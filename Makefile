@@ -5,15 +5,22 @@
 
 GO ?= go
 
-.PHONY: build test obs race-gate chaos bench-throughput bench-join report
+.PHONY: build test obs stream race-gate chaos bench-throughput bench-join report
 
 build:
 	$(GO) build ./...
 
-test: build obs
+test: build obs stream
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -bench 'BenchmarkJoin' -benchtime 1x -run '^$$' .
+
+# Streaming smoke: the stream-vs-batch parity harness, exactly-once
+# kill/resume, late-drop accounting, and the aggregator order-invariance
+# property tests that back the watermark semantics.
+stream:
+	$(GO) test ./internal/stream/ -count 1
+	$(GO) test ./internal/rsdos/ -run 'TestPacketAggregatorLateDrop|TestAggregator.*Property|TestWindowerLatenessAbsorbsJitter' -count 1
 
 # Observability gate: the metrics layer and its consumers under the race
 # detector — concurrent counter/histogram exactness, snapshot
@@ -34,7 +41,7 @@ obs:
 race-gate:
 	$(GO) vet ./... && $(GO) build ./... && \
 	$(GO) test -race ./internal/authserver/... ./internal/resolver/... ./internal/dnsload/... \
-		./internal/core/... ./internal/cache/...
+		./internal/core/... ./internal/cache/... ./internal/stream/...
 
 # Chaos gate: the fault-injection and graceful-degradation regression
 # suite under the race detector — the netem-style wrappers, the retrying

@@ -1,0 +1,296 @@
+// Command streamjoin runs the live counterpart of cmd/joinpipe: it
+// builds the study world and measurement-side indexes (without the batch
+// join), replays a deterministic telescope packet trace from the study's
+// own attack schedule, and streams it through internal/stream — closing
+// 5-minute RSDoS windows as the watermark passes, finalizing attacks
+// incrementally and joining them the moment they can no longer change.
+// Joined impact events are appended to the output CSV batch by batch,
+// with bounded lag, instead of at end of run.
+//
+// With -journal the emission frontier is checkpointed after every
+// accepted batch; -journal with -resume restarts a killed run with
+// exactly-once delivery — the output file is truncated to the journaled
+// byte offset and the replay re-emits nothing the file already holds.
+//
+// Usage:
+//
+//	streamjoin [-quick] [-domains N] [-attacks N] [-from-day D] [-days N]
+//	           [-lateness W] [-jitter W] [-rate F] [-seed N] [-out FILE]
+//	           [-journal DIR] [-resume] [-metrics-addr :9090]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dnsddos/internal/checkpoint"
+	"dnsddos/internal/clock"
+	"dnsddos/internal/obs"
+	"dnsddos/internal/packet"
+	"dnsddos/internal/report"
+	"dnsddos/internal/stream"
+	"dnsddos/internal/study"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streamjoin: ")
+	if err := run(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted (the journal frontier is durable; rerun with -resume)")
+		}
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", true, "use the scaled-down quick configuration")
+	domains := flag.Int("domains", 0, "override world size")
+	attacks := flag.Int("attacks", 0, "override attack count")
+	fromDay := flag.Int("from-day", 29, "first study day the trace replays")
+	days := flag.Int("days", 1, "number of days to replay")
+	lateness := flag.Int("lateness", 1, "watermark lateness allowance in 5-minute windows")
+	jitter := flag.Int("jitter", 0, "arrival-order jitter of the replayed trace, in windows")
+	rate := flag.Float64("rate", 0.003, "flood downsampling rate of the trace (1 = every packet)")
+	seed := flag.Uint64("seed", 99, "trace seed (packets, spoofed sources, responses)")
+	out := flag.String("out", "", "output CSV file, appended batch by batch (default stdout)")
+	journalDir := flag.String("journal", "", "journal directory: checkpoint the emission frontier per batch")
+	resume := flag.Bool("resume", false, "resume from the journal in -journal with exactly-once emission")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics.json with live stream lag/backlog/drop gauges (empty disables)")
+	flag.Parse()
+
+	if *resume && *journalDir == "" {
+		return fmt.Errorf("-resume requires -journal DIR")
+	}
+	if *resume && *out == "" {
+		return fmt.Errorf("-resume requires -out FILE (stdout cannot be truncated to the journaled offset)")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := study.DefaultConfig()
+	if *quick {
+		cfg = study.QuickConfig()
+	}
+	if *domains > 0 {
+		cfg.World.Domains = *domains
+	}
+	if *attacks > 0 {
+		cfg.Attacks.TotalAttacks = *attacks
+	}
+	// sweep one day before the trace (prev-day snapshots and baselines)
+	// and the trace days themselves
+	traceFrom := clock.Day(*fromDay)
+	traceTo := traceFrom + clock.Day(*days) - 1
+	cfg.FromDay, cfg.ToDay = traceFrom-1, traceTo
+
+	reg := obs.New()
+	if *metricsAddr != "" {
+		ms, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "streamjoin: observability on http://%s/metrics.json\n", ms.Addr())
+	}
+
+	start := time.Now()
+	s, err := study.RunContext(ctx, cfg, study.WithSkipJoin(), study.WithMetrics(reg))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "streamjoin: world and measurement sweeps ready (%.1fs), streaming days %d..%d\n",
+		time.Since(start).Seconds(), int(traceFrom), int(traceTo))
+
+	opts := []stream.Option{
+		stream.WithContext(ctx),
+		stream.WithRSDoS(cfg.RSDoS),
+		stream.WithLateness(*lateness),
+		stream.WithMetrics(reg),
+	}
+	if *journalDir != "" {
+		hash, err := study.ConfigHash(cfg)
+		if err != nil {
+			return err
+		}
+		// the journal is keyed by everything that determines the emitted
+		// byte sequence: the study config hash plus the trace seed
+		hdr := checkpoint.Header{ConfigHash: hash, Seed: *seed}
+		var dir *checkpoint.Dir
+		if *resume {
+			dir, err = checkpoint.Resume(*journalDir, hdr)
+		} else {
+			dir, err = checkpoint.Create(*journalDir, hdr)
+		}
+		if err != nil {
+			return err
+		}
+		opts = append(opts, stream.WithJournal(dir))
+		if *resume {
+			opts = append(opts, stream.WithResume())
+		}
+	}
+
+	sink, err := newCSVSink(*out)
+	if err != nil {
+		return err
+	}
+	defer sink.close()
+
+	p, err := stream.New(s.Telescope, s.Pipeline, sink, opts...)
+	if err != nil {
+		return err
+	}
+	if cur, ok := p.Resumed(); ok {
+		if err := sink.truncateTo(cur.SinkBytes); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "streamjoin: resuming past window %d (%d attacks, %d events already delivered)\n",
+			int64(cur.ClosedThrough), cur.Attacks, cur.Events)
+	} else if err := sink.writeHeader(); err != nil {
+		return err
+	}
+
+	traceCfg := stream.TraceConfig{
+		Seed:          *seed,
+		Rate:          *rate,
+		From:          traceFrom.FirstWindow(),
+		To:            (traceTo + 1).FirstWindow() - 1,
+		JitterWindows: *jitter,
+	}
+	var packets int64
+	var streamErr error
+	stream.Replay(traceCfg, s.Schedule.Sched, s.Telescope, func(ts time.Time, pkt packet.Packet) bool {
+		if ctx.Err() != nil {
+			streamErr = ctx.Err()
+			return false
+		}
+		packets++
+		if _, err := p.Offer(ts, pkt); err != nil {
+			streamErr = err
+			return false
+		}
+		return true
+	})
+	if streamErr != nil {
+		return streamErr
+	}
+	if err := p.Close(); err != nil {
+		return err
+	}
+	if err := sink.close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"streamjoin: %d packets streamed, %d batches, %d attacks, %d events, %d late drops (%.1fs)\n",
+		packets, sink.batches, sink.attacks, sink.events, p.LateDrops(), time.Since(start).Seconds())
+	return nil
+}
+
+// csvSink appends joined events to the output batch by batch and tracks
+// the byte offset after each accepted batch — the stream journals it so
+// a resumed run can truncate a torn write from a crash.
+type csvSink struct {
+	f       *os.File // nil when writing to stdout
+	off     int64
+	batches int
+	attacks int
+	events  int64
+}
+
+func newCSVSink(path string) (*csvSink, error) {
+	if path == "" {
+		return &csvSink{}, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &csvSink{f: f}, nil
+}
+
+func (s *csvSink) writeHeader() error {
+	if s.f == nil {
+		return report.EventsCSVHeader(os.Stdout)
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, 0); err != nil {
+		return err
+	}
+	if err := report.EventsCSVHeader(s.f); err != nil {
+		return err
+	}
+	return s.sync()
+}
+
+// truncateTo discards everything past the journaled offset — a batch the
+// sink half-wrote when the previous run died was never journaled and
+// will be re-emitted.
+func (s *csvSink) truncateTo(off int64) error {
+	if s.f == nil {
+		return fmt.Errorf("streamjoin: resume needs a file sink")
+	}
+	if err := s.f.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(off, 0); err != nil {
+		return err
+	}
+	s.off = off
+	return nil
+}
+
+func (s *csvSink) Emit(b stream.Batch) error {
+	w := os.Stdout
+	if s.f != nil {
+		w = s.f
+	}
+	if err := report.EventsCSVRows(w, b.Events); err != nil {
+		return err
+	}
+	if err := s.sync(); err != nil {
+		return err
+	}
+	s.batches++
+	s.attacks += len(b.Attacks)
+	s.events += int64(len(b.Events))
+	return nil
+}
+
+// Offset implements stream.OffsetSink: the durable size after the last
+// accepted batch.
+func (s *csvSink) Offset() int64 { return s.off }
+
+func (s *csvSink) sync() error {
+	if s.f == nil {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	off, err := s.f.Seek(0, 1)
+	if err != nil {
+		return err
+	}
+	s.off = off
+	return nil
+}
+
+func (s *csvSink) close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -20,7 +20,7 @@ type LRU[K comparable, V any] struct {
 	// GetOrCompute, so concurrent misses on the same key share one build.
 	inflight map[K]*lruCall[V]
 
-	hits, misses int64
+	hits, misses, shared int64
 }
 
 type lruEntry[K comparable, V any] struct {
@@ -29,10 +29,14 @@ type lruEntry[K comparable, V any] struct {
 	prev, next *lruEntry[K, V]
 }
 
-// lruCall is one in-flight computation; done closes when val is ready.
+// lruCall is one in-flight computation; done closes when the build
+// finished — successfully (completed true, val set) or by panicking
+// (completed false). Both fields are written before close(done) and read
+// only after <-done, so the channel provides the happens-before edge.
 type lruCall[V any] struct {
-	done chan struct{}
-	val  V
+	done      chan struct{}
+	val       V
+	completed bool
 }
 
 // NewLRU builds an LRU bounded to max entries; max <= 0 means unbounded.
@@ -122,37 +126,63 @@ func (l *LRU[K, V]) put(k K, v V) {
 // and share the result; build runs without the cache lock held, so it may
 // be arbitrarily expensive (and may itself use the cache for other keys).
 // The boolean reports whether the value was already cached (a hit).
+//
+// A panicking build never wedges the key: the in-flight latch is removed
+// and released under a deferred cleanup, the panic propagates to the
+// builder's caller (where the supervised study loop quarantines it), and
+// waiters that had joined the doomed build retry — the first to re-enter
+// becomes the new builder.
 func (l *LRU[K, V]) GetOrCompute(k K, build func() V) (V, bool) {
-	l.mu.Lock()
-	if e, ok := l.entries[k]; ok {
-		l.hits++
-		if l.head != e {
-			l.unlink(e)
-			l.pushFront(e)
+	for {
+		l.mu.Lock()
+		if e, ok := l.entries[k]; ok {
+			l.hits++
+			if l.head != e {
+				l.unlink(e)
+				l.pushFront(e)
+			}
+			v := e.val
+			l.mu.Unlock()
+			return v, true
 		}
-		v := e.val
+		if c, ok := l.inflight[k]; ok {
+			// someone else is building it; wait and share their result.
+			// Counted separately from hits and misses: the value was not
+			// cached yet, but this caller did not build either.
+			l.shared++
+			l.mu.Unlock()
+			<-c.done
+			if c.completed {
+				return c.val, false
+			}
+			continue // the builder panicked; retry
+		}
+		l.misses++
+		c := &lruCall[V]{done: make(chan struct{})}
+		l.inflight[k] = c
 		l.mu.Unlock()
-		return v, true
+		return l.runBuild(k, c, build), false
 	}
-	if c, ok := l.inflight[k]; ok {
-		// someone else is building it; their build counts as the miss
-		l.mu.Unlock()
-		<-c.done
-		return c.val, false
-	}
-	l.misses++
-	c := &lruCall[V]{done: make(chan struct{})}
-	l.inflight[k] = c
-	l.mu.Unlock()
+}
 
+// runBuild executes one single-flight build holding the key's latch. The
+// deferred cleanup makes the latch panic-safe: whether build returns or
+// panics, the in-flight entry is deleted and done is closed, so waiters
+// and future callers never block on a dead build. It never recovers, so
+// a panic propagates unchanged to the caller.
+func (l *LRU[K, V]) runBuild(k K, c *lruCall[V], build func() V) V {
+	defer func() {
+		l.mu.Lock()
+		delete(l.inflight, k)
+		if c.completed {
+			l.put(k, c.val)
+		}
+		l.mu.Unlock()
+		close(c.done)
+	}()
 	c.val = build()
-	close(c.done)
-
-	l.mu.Lock()
-	delete(l.inflight, k)
-	l.put(k, c.val)
-	l.mu.Unlock()
-	return c.val, false
+	c.completed = true
+	return c.val
 }
 
 // Len returns the number of cached entries.
@@ -162,10 +192,13 @@ func (l *LRU[K, V]) Len() int {
 	return len(l.entries)
 }
 
-// LRUStats returns cumulative hit and miss counts. A GetOrCompute that
-// joins another caller's in-flight build counts neither way.
-func (l *LRU[K, V]) LRUStats() (hits, misses int64) {
+// LRUStats returns cumulative hit, miss and shared-wait counts. A
+// GetOrCompute that joins another caller's in-flight build counts as
+// shared: the value was not cached yet (not a hit), but the caller did
+// not pay for a build either (not a miss). Effectiveness ratios should
+// fold shared into the numerator alongside hits.
+func (l *LRU[K, V]) LRUStats() (hits, misses, shared int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.hits, l.misses
+	return l.hits, l.misses, l.shared
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLRUBasics(t *testing.T) {
@@ -78,9 +79,137 @@ func TestLRUStats(t *testing.T) {
 	l.GetOrCompute(1, func() int { return 1 }) // miss
 	l.GetOrCompute(1, func() int { return 1 }) // hit
 	l.Get(2)                                   // miss
-	hits, misses := l.LRUStats()
-	if hits != 1 || misses != 2 {
-		t.Fatalf("stats = %d hits, %d misses; want 1, 2", hits, misses)
+	hits, misses, shared := l.LRUStats()
+	if hits != 1 || misses != 2 || shared != 0 {
+		t.Fatalf("stats = %d hits, %d misses, %d shared; want 1, 2, 0", hits, misses, shared)
+	}
+}
+
+// TestLRUSharedWaitCounted pins the shared-wait accounting: a caller that
+// joins another caller's in-flight build must count as shared — not
+// vanish from the stats (which overstated the published hit ratio).
+func TestLRUSharedWaitCounted(t *testing.T) {
+	l := NewLRU[int, int](4)
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	go l.GetOrCompute(1, func() int {
+		close(inBuild)
+		<-release
+		return 7
+	})
+	<-inBuild
+	var wg sync.WaitGroup
+	const waiters = 3
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, hit := l.GetOrCompute(1, func() int { t.Error("waiter ran build"); return 0 }); hit || v != 7 {
+				t.Errorf("shared wait = %d, hit=%v; want 7, false", v, hit)
+			}
+		}()
+	}
+	// wait until every waiter has parked on the latch
+	for {
+		if _, _, shared := l.LRUStats(); shared == waiters {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	hits, misses, shared := l.LRUStats()
+	if hits != 0 || misses != 1 || shared != waiters {
+		t.Fatalf("stats = %d hits, %d misses, %d shared; want 0, 1, %d", hits, misses, shared, waiters)
+	}
+}
+
+// TestLRUPanickingBuildReleasesLatch is the regression test for the
+// single-flight latch leak: a build that panics must re-propagate the
+// panic AND clear its in-flight latch, so later callers for the same key
+// compute fresh instead of blocking forever on a dead build.
+func TestLRUPanickingBuildReleasesLatch(t *testing.T) {
+	l := NewLRU[int, int](4)
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want the build's own panic value", r)
+			}
+		}()
+		l.GetOrCompute(1, func() int { panic("boom") })
+	}()
+	// Before the fix this call deadlocked on the leaked latch (the test
+	// would time out); now it must run the build anew.
+	done := make(chan int, 1)
+	go func() {
+		v, _ := l.GetOrCompute(1, func() int { return 99 })
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		if v != 99 {
+			t.Fatalf("recomputed value = %d, want 99", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GetOrCompute still blocked after a panicking build: latch leaked")
+	}
+	if _, hit := l.GetOrCompute(1, func() int { t.Error("rebuilt cached key"); return 0 }); !hit {
+		t.Fatal("value from the recovery build was not cached")
+	}
+}
+
+// TestLRUPanickingBuildWakesWaiters: callers that joined the doomed
+// build's latch must not hang — they retry, and one becomes the new
+// builder. Run under -race this also exercises the latch's memory
+// ordering (satellite: race-detector test of concurrent GetOrCompute
+// with a panicking build).
+func TestLRUPanickingBuildWakesWaiters(t *testing.T) {
+	l := NewLRU[int, int](4)
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	var panicked sync.WaitGroup
+	panicked.Add(1)
+	go func() {
+		defer panicked.Done()
+		defer func() { recover() }()
+		l.GetOrCompute(1, func() int {
+			close(inBuild)
+			<-release
+			panic("first build dies")
+		})
+	}()
+	<-inBuild
+	const waiters = 8
+	var rebuilds atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _ := l.GetOrCompute(1, func() int {
+				rebuilds.Add(1)
+				return 42
+			})
+			if v != 42 {
+				t.Errorf("waiter got %d, want 42", v)
+			}
+		}()
+	}
+	// every waiter parked on the latch, then kill the build
+	for {
+		if _, _, shared := l.LRUStats(); shared >= waiters {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	panicked.Wait()
+	wg.Wait()
+	if n := rebuilds.Load(); n < 1 {
+		t.Fatalf("no waiter retried the build after the panic (rebuilds = %d)", n)
+	}
+	if v, hit := l.Get(1); !hit || v != 42 {
+		t.Fatalf("retried value not cached: %d, %v", v, hit)
 	}
 }
 

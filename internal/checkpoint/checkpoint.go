@@ -62,7 +62,7 @@ func Create(path string, hdr Header) (*Dir, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: scanning %s: %w", path, err)
 	}
-	old = append(old, filepath.Join(path, headerName))
+	old = append(old, filepath.Join(path, headerName), filepath.Join(path, cursorName))
 	for _, f := range old {
 		if err := os.Remove(f); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("checkpoint: clearing %s: %w", f, err)
@@ -110,11 +110,13 @@ func (d *Dir) Path() string { return d.path }
 
 func dayFile(day clock.Day) string { return fmt.Sprintf("day_%06d.ckpt", int32(day)) }
 
-// WriteDay durably records one completed day's snapshot.
-func (d *Dir) WriteDay(day clock.Day, snap nsset.Snapshot) error {
+// writeRecord gob-encodes v, frames it (magic, version, length, CRC-32
+// trailer) and atomically publishes it as dir/name. All checkpoint record
+// files — day snapshots, stream cursors — share this envelope.
+func (d *Dir) writeRecord(name string, v any) error {
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
-		return fmt.Errorf("checkpoint: encoding day %v: %w", day, err)
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("checkpoint: encoding %s: %w", name, err)
 	}
 	var buf bytes.Buffer
 	buf.Write(magic)
@@ -126,43 +128,60 @@ func (d *Dir) WriteDay(day clock.Day, snap nsset.Snapshot) error {
 	var crc [4]byte
 	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
 	buf.Write(crc[:])
-	return atomicWrite(d.path, dayFile(day), buf.Bytes())
+	return atomicWrite(d.path, name, buf.Bytes())
+}
+
+// loadRecord reads and integrity-checks dir/name, decoding its gob
+// payload into v. The boolean is false when the file does not exist; a
+// file that exists but fails any check (magic, version, length, CRC,
+// decode) is an error, never silently skipped.
+func (d *Dir) loadRecord(name string, v any) (bool, error) {
+	full := filepath.Join(d.path, name)
+	b, err := os.ReadFile(full)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("checkpoint: reading %s: %w", full, err)
+	}
+	if len(b) < len(magic)+12+4 || !bytes.Equal(b[:len(magic)], magic) {
+		return false, fmt.Errorf("checkpoint: %s: truncated or not a checkpoint file", full)
+	}
+	rest := b[len(magic):]
+	ver := binary.BigEndian.Uint32(rest[0:4])
+	if ver != Version {
+		return false, fmt.Errorf("checkpoint: %s: format version %d, this build reads %d", full, ver, Version)
+	}
+	plen := binary.BigEndian.Uint64(rest[4:12])
+	rest = rest[12:]
+	if uint64(len(rest)) != plen+4 {
+		return false, fmt.Errorf("checkpoint: %s: truncated payload (%d of %d bytes)", full, len(rest), plen+4)
+	}
+	payload, trailer := rest[:plen], rest[plen:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(trailer); got != want {
+		return false, fmt.Errorf("checkpoint: %s: crc mismatch (%08x != %08x)", full, got, want)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return false, fmt.Errorf("checkpoint: %s: decoding payload: %w", full, err)
+	}
+	return true, nil
+}
+
+// WriteDay durably records one completed day's snapshot.
+func (d *Dir) WriteDay(day clock.Day, snap nsset.Snapshot) error {
+	return d.writeRecord(dayFile(day), &snap)
 }
 
 // LoadDay reads one day's snapshot. The boolean is false when the day
 // has no checkpoint; a file that exists but fails any integrity check
 // (magic, version, length, CRC, decode) is an error.
 func (d *Dir) LoadDay(day clock.Day) (nsset.Snapshot, bool, error) {
-	name := filepath.Join(d.path, dayFile(day))
-	b, err := os.ReadFile(name)
-	if errors.Is(err, os.ErrNotExist) {
-		return nsset.Snapshot{}, false, nil
-	}
-	if err != nil {
-		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: reading %s: %w", name, err)
-	}
-	if len(b) < len(magic)+12+4 || !bytes.Equal(b[:len(magic)], magic) {
-		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: %s: truncated or not a checkpoint file", name)
-	}
-	rest := b[len(magic):]
-	ver := binary.BigEndian.Uint32(rest[0:4])
-	if ver != Version {
-		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: %s: format version %d, this build reads %d", name, ver, Version)
-	}
-	plen := binary.BigEndian.Uint64(rest[4:12])
-	rest = rest[12:]
-	if uint64(len(rest)) != plen+4 {
-		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: %s: truncated payload (%d of %d bytes)", name, len(rest), plen+4)
-	}
-	payload, trailer := rest[:plen], rest[plen:]
-	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(trailer); got != want {
-		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: %s: crc mismatch (%08x != %08x)", name, got, want)
-	}
 	var snap nsset.Snapshot
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
-		return nsset.Snapshot{}, false, fmt.Errorf("checkpoint: %s: decoding payload: %w", name, err)
+	ok, err := d.loadRecord(dayFile(day), &snap)
+	if err != nil {
+		return nsset.Snapshot{}, false, err
 	}
-	return snap, true, nil
+	return snap, ok, nil
 }
 
 // LoadDays reads every checkpointed day in [from, to]. Any corrupt day

@@ -1,0 +1,82 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnsddos/internal/clock"
+)
+
+func TestCursorRoundTrip(t *testing.T) {
+	d, err := Create(t.TempDir(), testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d.LoadCursor(); ok || err != nil {
+		t.Fatalf("fresh dir: cursor ok=%v err=%v, want absent", ok, err)
+	}
+	want := Cursor{ClosedThrough: clock.Window(417), Attacks: 12, Events: 345, SinkBytes: 98765}
+	if err := d.WriteCursor(want); err != nil {
+		t.Fatal(err)
+	}
+	// overwrite advances the frontier — the latest write wins
+	want.ClosedThrough, want.Attacks, want.Events, want.SinkBytes = 420, 13, 360, 101010
+	if err := d.WriteCursor(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.LoadCursor()
+	if err != nil || !ok {
+		t.Fatalf("LoadCursor = ok %v, err %v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("cursor = %+v, want %+v", got, want)
+	}
+	// the cursor survives a Resume of the same run...
+	rd, err := Resume(d.Path(), testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := rd.LoadCursor(); !ok || got != want {
+		t.Fatalf("cursor after Resume = %+v ok=%v", got, ok)
+	}
+	// ...and a fresh Create wipes it with the rest of the run
+	fd, err := Create(d.Path(), testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := fd.LoadCursor(); ok {
+		t.Fatal("Create kept the previous run's cursor")
+	}
+}
+
+func TestCursorRejectsCorruption(t *testing.T) {
+	d, err := Create(t.TempDir(), testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteCursor(Cursor{ClosedThrough: 9, Attacks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(d.Path(), cursorName)
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flip one payload bit: the CRC must catch it, because acting on a
+	// wrong frontier emits duplicate or missing windows downstream
+	b[len(b)-7] ^= 0x20
+	if err := os.WriteFile(name, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d.LoadCursor(); err == nil {
+		t.Fatalf("corrupt cursor loaded (ok=%v), want error", ok)
+	}
+	// truncation likewise
+	if err := os.WriteFile(name, b[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.LoadCursor(); err == nil {
+		t.Fatal("truncated cursor loaded, want error")
+	}
+}

@@ -78,7 +78,8 @@ type joinMetrics struct {
 	attacksJoined *obs.Counter   // core.join.attacks: DNS-direct attacks joined (cumulative)
 	cacheHits     *obs.Gauge     // core.join.day_cache_hits: LRU lifetime hits
 	cacheMisses   *obs.Gauge     // core.join.day_cache_misses: LRU lifetime misses
-	cacheRatio    *obs.Gauge     // core.join.day_cache_hit_ratio_permille: hits/(hits+misses)
+	cacheShared   *obs.Gauge     // core.join.day_cache_shared_waits: joins of another caller's in-flight build
+	cacheRatio    *obs.Gauge     // core.join.day_cache_hit_ratio_permille: hits/(hits+misses+shared)
 	shardLatency  *obs.Histogram // core.join.shard_latency_ns: per-shard wall time
 }
 
@@ -92,18 +93,25 @@ func newJoinMetrics(reg *obs.Registry) joinMetrics {
 		attacksJoined: reg.Counter("core.join.attacks", obs.Volatile()),
 		cacheHits:     reg.Gauge("core.join.day_cache_hits", obs.Volatile()),
 		cacheMisses:   reg.Gauge("core.join.day_cache_misses", obs.Volatile()),
+		cacheShared:   reg.Gauge("core.join.day_cache_shared_waits", obs.Volatile()),
 		cacheRatio:    reg.Gauge("core.join.day_cache_hit_ratio_permille", obs.Volatile()),
 		shardLatency:  reg.Histogram("core.join.shard_latency_ns", obs.Volatile()),
 	}
 }
 
-// publishCacheStats exports the day cache's lifetime hit/miss counts and
-// derived hit ratio (permille, so the integer gauge keeps 0.1% steps).
-func (m *joinMetrics) publishCacheStats(c interface{ LRUStats() (int64, int64) }) {
-	hits, misses := c.LRUStats()
+// publishCacheStats exports the day cache's lifetime hit/miss/shared
+// counts and derived hit ratio (permille, so the integer gauge keeps 0.1%
+// steps). A shard that joined another shard's in-flight build (shared)
+// did not find the snapshot cached — it stalled on a build like a miss
+// does — so shared lookups belong in the ratio's denominator. Counting
+// them neither way dropped those lookups entirely and overstated the hit
+// ratio under concurrent shards.
+func (m *joinMetrics) publishCacheStats(c interface{ LRUStats() (int64, int64, int64) }) {
+	hits, misses, shared := c.LRUStats()
 	m.cacheHits.Set(hits)
 	m.cacheMisses.Set(misses)
-	if total := hits + misses; total > 0 {
+	m.cacheShared.Set(shared)
+	if total := hits + misses + shared; total > 0 {
 		m.cacheRatio.Set(hits * 1000 / total)
 	}
 }

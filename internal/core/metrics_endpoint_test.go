@@ -66,7 +66,7 @@ func TestJoinMetricsOnEndpoint(t *testing.T) {
 	if got := snap.Counters["core.join.events"]; got <= 0 {
 		t.Errorf("core.join.events = %d, want > 0", got)
 	}
-	for _, g := range []string{"core.join.day_cache_hits", "core.join.day_cache_misses", "core.join.victims", "core.join.shards"} {
+	for _, g := range []string{"core.join.day_cache_hits", "core.join.day_cache_misses", "core.join.day_cache_shared_waits", "core.join.victims", "core.join.shards"} {
 		if _, ok := snap.Gauges[g]; !ok {
 			t.Errorf("gauge %q missing from /metrics.json", g)
 		}
@@ -74,6 +74,13 @@ func TestJoinMetricsOnEndpoint(t *testing.T) {
 	ratio, ok := snap.Gauges["core.join.day_cache_hit_ratio_permille"]
 	if !ok || ratio <= 0 || ratio > 1000 {
 		t.Errorf("day_cache_hit_ratio_permille = %d (present=%v), want in (0, 1000]", ratio, ok)
+	}
+	// the ratio must account for shared waits: hits/(hits+misses+shared)
+	hits := snap.Gauges["core.join.day_cache_hits"]
+	misses := snap.Gauges["core.join.day_cache_misses"]
+	shared := snap.Gauges["core.join.day_cache_shared_waits"]
+	if total := hits + misses + shared; total > 0 && ratio != hits*1000/total {
+		t.Errorf("ratio %d does not fold shared waits: hits=%d misses=%d shared=%d", ratio, hits, misses, shared)
 	}
 	if h, ok := snap.Histograms["core.join.shard_latency_ns"]; !ok || h.Count <= 0 {
 		t.Errorf("shard_latency_ns histogram missing or empty (present=%v)", ok)

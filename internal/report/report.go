@@ -372,10 +372,27 @@ var eventsHeader = []string{
 
 // EventsCSV writes the joined attack events as CSV with a header row.
 func EventsCSV(w io.Writer, events []core.Event) error {
+	if err := EventsCSVHeader(w); err != nil {
+		return err
+	}
+	return EventsCSVRows(w, events)
+}
+
+// EventsCSVHeader writes just the header row of the joined-events CSV —
+// the once-per-file half of an incremental writer (cmd/streamjoin emits
+// rows batch by batch as the stream closes windows).
+func EventsCSVHeader(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(eventsHeader); err != nil {
 		return err
 	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// EventsCSVRows appends event rows without a header, in feed order.
+func EventsCSVRows(w io.Writer, events []core.Event) error {
+	cw := csv.NewWriter(w)
 	for _, e := range events {
 		impact := ""
 		if e.HasImpact {

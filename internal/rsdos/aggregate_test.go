@@ -3,7 +3,10 @@ package rsdos
 import (
 	"math"
 	"math/rand/v2"
+	"reflect"
+	"sort"
 	"testing"
+	"testing/quick"
 	"time"
 
 	"dnsddos/internal/attacksim"
@@ -147,5 +150,193 @@ func TestPacketPathMatchesFlowPath(t *testing.T) {
 	}
 	if attacks[0].Victim != victimAddr || attacks[0].FirstPort != 53 {
 		t.Errorf("attack = %+v", attacks[0])
+	}
+}
+
+// TestPacketAggregatorLateDrop is the regression test for the aggregator
+// window-regression bug: a packet older than the newest window seen used
+// to be treated as forward progress, regressing the live window and
+// re-emitting a duplicate, out-of-order observation for the already
+// flushed window. Now it must be dropped and counted, and Finish must
+// stay strictly window-ordered with no duplicates.
+func TestPacketAggregatorLateDrop(t *testing.T) {
+	tel := telescope.NewUCSD()
+	pa := NewPacketAggregator(tel)
+	base := clock.StudyStart
+	if !pa.Add(base.Add(10*time.Second), bsPacket("192.0.2.1", "44.0.0.1", 53)) {
+		t.Fatal("in-order packet rejected")
+	}
+	// window 1 closes window 0
+	if !pa.Add(base.Add(5*time.Minute+10*time.Second), bsPacket("192.0.2.1", "44.1.0.1", 53)) {
+		t.Fatal("in-order packet rejected")
+	}
+	// late packet for the closed window 0: must be dropped, not regress
+	if pa.Add(base.Add(20*time.Second), bsPacket("192.0.2.1", "44.2.0.1", 53)) {
+		t.Error("late packet for a closed window was accepted")
+	}
+	if d := pa.LateDrops(); d != 1 {
+		t.Errorf("LateDrops = %d, want 1", d)
+	}
+	obs := pa.Finish()
+	if len(obs) != 2 {
+		t.Fatalf("observations = %d, want 2 (duplicate emission for the closed window?)", len(obs))
+	}
+	for i := 1; i < len(obs); i++ {
+		if obs[i].Window < obs[i-1].Window {
+			t.Fatalf("Finish not window-ordered: %d after %d", obs[i].Window, obs[i-1].Window)
+		}
+	}
+	if obs[0].Window != 0 || obs[0].Packets != 1 {
+		t.Errorf("closed window mutated by the late packet: %+v", obs[0])
+	}
+	if obs[1].Window != 1 || obs[1].Packets != 1 {
+		t.Errorf("live window corrupted: %+v", obs[1])
+	}
+}
+
+// timedPacket pairs a backscatter packet with its capture time for the
+// arrival-order property tests.
+type timedPacket struct {
+	ts time.Time
+	p  packet.Packet
+}
+
+// randomTrace draws backscatter packets spread over a few windows with a
+// handful of victims, in random (not time-sorted) generation order.
+func randomTrace(rng *rand.Rand, n, windows int) []timedPacket {
+	out := make([]timedPacket, 0, n)
+	for i := 0; i < n; i++ {
+		w := rng.IntN(windows)
+		off := time.Duration(rng.IntN(300)) * time.Second
+		v := netx.Addr(0xC0000200 + uint32(rng.IntN(3)))
+		dst := netx.Addr(0x2C000000 + uint32(rng.IntN(1<<16)))
+		out = append(out, timedPacket{
+			ts: clock.StudyStart.Add(time.Duration(w)*clock.WindowDur + off),
+			p:  bsPacket(v.String(), dst.String(), uint16(53+rng.IntN(3))),
+		})
+	}
+	return out
+}
+
+func sortTrace(tr []timedPacket) {
+	sort.SliceStable(tr, func(i, j int) bool { return tr[i].ts.Before(tr[j].ts) })
+}
+
+func runAggregator(tel *telescope.Telescope, tr []timedPacket) (obs []WindowObs, accepted []timedPacket, drops int64) {
+	pa := NewPacketAggregator(tel)
+	for _, tp := range tr {
+		if pa.Add(tp.ts, tp.p) {
+			accepted = append(accepted, tp)
+		}
+	}
+	return pa.Finish(), accepted, pa.LateDrops()
+}
+
+// TestAggregatorIntraWindowShuffleProperty: arrival order *within* a
+// window is free — shuffling packets inside their windows (window order
+// preserved) never changes Finish output and never drops a packet.
+func TestAggregatorIntraWindowShuffleProperty(t *testing.T) {
+	tel := telescope.NewUCSD()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x51))
+		tr := randomTrace(rng, 40+rng.IntN(120), 4)
+		sortTrace(tr)
+		want, _, wantDrops := runAggregator(tel, tr)
+		if wantDrops != 0 {
+			return false // sorted arrival must never drop
+		}
+		// shuffle within each window, keep window order
+		shuf := make([]timedPacket, len(tr))
+		copy(shuf, tr)
+		for lo := 0; lo < len(shuf); {
+			w := clock.WindowOf(shuf[lo].ts)
+			hi := lo
+			for hi < len(shuf) && clock.WindowOf(shuf[hi].ts) == w {
+				hi++
+			}
+			rng.Shuffle(hi-lo, func(i, j int) { shuf[lo+i], shuf[lo+j] = shuf[lo+j], shuf[lo+i] })
+			lo = hi
+		}
+		got, _, drops := runAggregator(tel, shuf)
+		return drops == 0 && reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAggregatorLateArrivalProperty: under arbitrary (fully shuffled)
+// arrival, the aggregator's output equals a sorted replay of exactly the
+// packets it accepted, and everything it did not accept is counted in
+// LateDrops — late arrival can shrink the input but never reorder,
+// duplicate, or corrupt the output.
+func TestAggregatorLateArrivalProperty(t *testing.T) {
+	tel := telescope.NewUCSD()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x62))
+		tr := randomTrace(rng, 40+rng.IntN(120), 5)
+		rng.Shuffle(len(tr), func(i, j int) { tr[i], tr[j] = tr[j], tr[i] })
+		got, accepted, drops := runAggregator(tel, tr)
+		if int(drops) != len(tr)-len(accepted) {
+			return false
+		}
+		sortTrace(accepted)
+		want, _, redrops := runAggregator(tel, accepted)
+		if redrops != 0 {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Window < got[i-1].Window {
+				return false // out-of-order emission
+			}
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowerLatenessAbsorbsJitter: with a lateness allowance at least
+// the arrival jitter, the streaming Windower accepts every packet of a
+// jittered stream and produces byte-identical observations to a sorted
+// zero-lateness replay.
+func TestWindowerLatenessAbsorbsJitter(t *testing.T) {
+	tel := telescope.NewUCSD()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x73))
+		tr := randomTrace(rng, 40+rng.IntN(120), 6)
+		sortTrace(tr)
+		want, _, _ := runAggregator(tel, tr)
+		// jittered arrival: order by ts + jitter with jitter < 2 windows.
+		// Any packet arriving before packet p then has actual ts below
+		// p.ts + 2 windows, so p is never more than 2 windows behind the
+		// running max — exactly what a lateness allowance of 2 absorbs.
+		type arrival struct {
+			tp timedPacket
+			at time.Time
+		}
+		arr := make([]arrival, len(tr))
+		for i, tp := range tr {
+			arr[i] = arrival{tp, tp.ts.Add(time.Duration(rng.Int64N(int64(2 * clock.WindowDur))))}
+		}
+		sort.SliceStable(arr, func(i, j int) bool { return arr[i].at.Before(arr[j].at) })
+		jit := make([]timedPacket, len(arr))
+		for i, a := range arr {
+			jit[i] = a.tp
+		}
+		wd := NewWindower(tel, 2)
+		var got []WindowObs
+		for _, tp := range jit {
+			if !wd.Add(tp.ts, tp.p) {
+				return false // lateness 2 must absorb <2-window jitter
+			}
+			got = append(got, wd.CloseReady()...)
+		}
+		got = append(got, wd.CloseAll()...)
+		return wd.LateDrops() == 0 && reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
 	}
 }

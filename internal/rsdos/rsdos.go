@@ -4,6 +4,15 @@
 // response statistics, curated with Moore-et-al.-style thresholds into
 // attack records carrying victim IP, protocol, first/unique ports, the
 // number of telescope /16s reached, and peak packet rate.
+//
+// Late-packet semantics: window aggregation is watermark-driven
+// (Windower). A window closes once a packet arrives more than the
+// lateness allowance past it — immediately for the batch
+// PacketAggregator, whose allowance is zero — and packets for closed
+// windows are *dropped and counted* (LateDrops), never folded in or
+// re-emitted. Closed-window observations are therefore final and strictly
+// window-ordered, which is what both the incremental Tracker and the
+// streaming pipeline's exactly-once emission depend on.
 package rsdos
 
 import (
@@ -127,75 +136,30 @@ func (a *Attack) Overlaps(from, to time.Time) bool {
 // Infer curates window observations into attack records. Observations may
 // arrive in any order; they are grouped per victim and merged across window
 // gaps of at most MaxGapWindows.
+//
+// It is the batch face of the incremental Tracker: qualifying
+// observations are sorted into window order, folded through one Tracker,
+// and the finalized feed is numbered by (StartWindow, Victim) rank. The
+// streaming pipeline drives the identical Tracker watermark-by-watermark,
+// so batch and streaming curation cannot diverge.
 func Infer(cfg Config, obs []WindowObs) []Attack {
-	byVictim := make(map[netx.Addr][]WindowObs)
-	for _, o := range obs {
-		if o.Packets >= cfg.MinPackets && o.Slash16 >= cfg.MinSlash16 {
-			byVictim[o.Victim] = append(byVictim[o.Victim], o)
+	tr := NewTracker(cfg)
+	qual := make([]WindowObs, 0, len(obs))
+	for i := range obs {
+		if tr.Qualifies(&obs[i]) {
+			qual = append(qual, obs[i])
 		}
 	}
-	victims := make([]netx.Addr, 0, len(byVictim))
-	for v := range byVictim {
-		victims = append(victims, v)
-	}
-	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
-
-	var attacks []Attack
-	for _, v := range victims {
-		wins := byVictim[v]
-		sort.Slice(wins, func(i, j int) bool { return wins[i].Window < wins[j].Window })
-		var cur *Attack
-		var ports map[uint16]int64
-		var protoCount map[packet.Protocol]int64
-		flush := func() {
-			if cur == nil {
-				return
-			}
-			if cur.TotalPackets >= cfg.MinTotalPackets {
-				finishAttack(cur, ports, protoCount)
-				attacks = append(attacks, *cur)
-			}
-			cur, ports, protoCount = nil, nil, nil
+	sort.Slice(qual, func(i, j int) bool {
+		if qual[i].Window != qual[j].Window {
+			return qual[i].Window < qual[j].Window
 		}
-		for i := range wins {
-			o := &wins[i]
-			if cur != nil && int64(o.Window-cur.EndWindow) > int64(cfg.MaxGapWindows)+1 {
-				flush()
-			}
-			if cur == nil {
-				cur = &Attack{
-					Victim:      v,
-					StartWindow: o.Window,
-					EndWindow:   o.Window,
-					FirstPort:   firstPort(o),
-				}
-				ports = make(map[uint16]int64)
-				protoCount = make(map[packet.Protocol]int64)
-			}
-			cur.EndWindow = o.Window
-			cur.TotalPackets += o.Packets
-			if o.PeakPPM > cur.PeakPPM {
-				cur.PeakPPM = o.PeakPPM
-			}
-			if o.Slash16 > cur.MaxSlash16 {
-				cur.MaxSlash16 = o.Slash16
-			}
-			if o.UniqueDsts > cur.UniqueDsts {
-				cur.UniqueDsts = o.UniqueDsts
-			}
-			protoCount[o.Proto] += o.Packets
-			for p, c := range o.Ports {
-				ports[p] += c
-			}
-		}
-		flush()
-	}
-	sort.Slice(attacks, func(i, j int) bool {
-		if attacks[i].StartWindow != attacks[j].StartWindow {
-			return attacks[i].StartWindow < attacks[j].StartWindow
-		}
-		return attacks[i].Victim < attacks[j].Victim
+		return qual[i].Victim < qual[j].Victim
 	})
+	for _, o := range qual {
+		tr.Observe(o)
+	}
+	attacks := tr.Finish()
 	for i := range attacks {
 		attacks[i].ID = i + 1
 	}

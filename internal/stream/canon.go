@@ -1,0 +1,54 @@
+package stream
+
+import (
+	"sort"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/core"
+	"dnsddos/internal/netx"
+	"dnsddos/internal/rsdos"
+)
+
+// canon.go bridges the two attack numberings. The batch feed
+// (rsdos.Infer) numbers attacks by (StartWindow, Victim) rank over the
+// whole feed — a property a bounded-lag stream cannot know while
+// long-lived attacks are still open, so the stream numbers in
+// finalization order instead. Canonicalize maps stream-numbered output
+// onto the batch numbering; after it, a streamed run and a batch run
+// over the same packets must agree byte for byte (the parity
+// acceptance).
+
+type attackKey struct {
+	w clock.Window
+	v netx.Addr
+}
+
+// Canonicalize renumbers stream-emitted attacks and events into batch
+// feed order: attacks sorted by (StartWindow, Victim) — a unique key,
+// since one victim's attacks never overlap — with IDs 1..n, and events
+// stably reordered by their attack's canonical ID. Inputs are not
+// mutated.
+func Canonicalize(attacks []rsdos.Attack, events []core.Event) ([]rsdos.Attack, []core.Event) {
+	ca := make([]rsdos.Attack, len(attacks))
+	copy(ca, attacks)
+	sort.Slice(ca, func(i, j int) bool {
+		if ca[i].StartWindow != ca[j].StartWindow {
+			return ca[i].StartWindow < ca[j].StartWindow
+		}
+		return ca[i].Victim < ca[j].Victim
+	})
+	ids := make(map[attackKey]int, len(ca))
+	for i := range ca {
+		ca[i].ID = i + 1
+		ids[attackKey{ca[i].StartWindow, ca[i].Victim}] = i + 1
+	}
+	ce := make([]core.Event, len(events))
+	copy(ce, events)
+	for i := range ce {
+		ce[i].Attack.ID = ids[attackKey{ce[i].Attack.StartWindow, ce[i].Attack.Victim}]
+	}
+	// stable: within one attack the join's event order is already
+	// canonical (both paths run the same engine over the same index)
+	sort.SliceStable(ce, func(i, j int) bool { return ce[i].Attack.ID < ce[j].Attack.ID })
+	return ca, ce
+}

@@ -1,0 +1,383 @@
+// Package stream is the live counterpart of the batch study pipeline: it
+// consumes telescope backscatter packets as they arrive, closes 5-minute
+// RSDoS windows as the watermark passes them, curates attacks
+// incrementally (rsdos.Tracker), and joins each finalized attack against
+// the measurement-side indexes (core.Pipeline) the moment it can no
+// longer change — emitting impact events with bounded lag instead of at
+// end of study.
+//
+// Ordering and exactness:
+//
+//   - The watermark is the highest window seen minus a configurable
+//     lateness allowance; a window strictly below it is closed and final.
+//     Packets arriving for closed windows are dropped and counted, never
+//     reprocessed (internal/rsdos late-drop semantics).
+//   - Emission is batched per watermark advance. Each Batch carries the
+//     windows closed by the advance, the attacks that became final, and
+//     their joined impact events. Batches are strictly ordered by
+//     ClosedThrough.
+//   - With a journal (internal/checkpoint cursor), emission is
+//     exactly-once across restarts: the cursor records the last window
+//     durably handed to the sink, and a resumed pipeline replays its
+//     deterministic input with emission suppressed up to the cursor —
+//     state (windows, candidates, attack numbering) is rebuilt, but
+//     nothing reaches the sink twice.
+//
+// Attack IDs are assigned in emission (finalization) order — the only
+// order a bounded-lag stream can number by. The batch feed numbers by
+// (StartWindow, Victim) rank instead; the parity harness
+// (Canonicalize) maps one numbering onto the other and the two
+// pipelines agree byte for byte.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dnsddos/internal/checkpoint"
+	"dnsddos/internal/clock"
+	"dnsddos/internal/core"
+	"dnsddos/internal/obs"
+	"dnsddos/internal/packet"
+	"dnsddos/internal/rsdos"
+	"dnsddos/internal/telescope"
+)
+
+// Batch is one emission step: everything that became final when the
+// watermark advanced through ClosedThrough.
+type Batch struct {
+	// ClosedThrough is the highest closed window as of this batch; all
+	// batch contents concern windows at or below it.
+	ClosedThrough clock.Window
+	// Windows are the observations of the windows this advance closed,
+	// ordered by (window, victim).
+	Windows []rsdos.WindowObs
+	// Attacks are the attacks finalized by this advance, in emission
+	// order with stream-assigned sequential IDs.
+	Attacks []rsdos.Attack
+	// Events are the joined impact events of those attacks.
+	Events []core.Event
+}
+
+// Sink receives emitted batches. Emit must be durable when it returns
+// nil: the pipeline journals the cursor right after, and a resumed run
+// will not re-deliver the batch.
+type Sink interface {
+	Emit(Batch) error
+}
+
+// OffsetSink is optionally implemented by file-backed sinks; the byte
+// offset after each accepted batch is journaled so a resume can truncate
+// a partial write from a crash.
+type OffsetSink interface {
+	Offset() int64
+}
+
+// Pipeline is the streaming join. Not safe for concurrent use; drive it
+// from one goroutine (the capture loop).
+type Pipeline struct {
+	ctx  context.Context
+	join *core.Pipeline
+	sink Sink
+	win  *rsdos.Windower
+	tr   *rsdos.Tracker
+
+	journal *checkpoint.Dir
+	resume  bool
+	// suppress is true while a resumed run replays input the sink already
+	// holds; resumed is the journaled frontier being replayed up to.
+	suppress bool
+	resumed  checkpoint.Cursor
+
+	lastClosed clock.Window
+	haveClosed bool
+	attackSeq  int
+	eventsOut  int64
+	closed     bool
+
+	lateness int
+	rsdosCfg rsdos.Config
+
+	m streamMetrics
+}
+
+// Option configures a Pipeline at construction.
+type Option func(*Pipeline)
+
+// WithLateness sets the watermark lateness allowance in windows
+// (default 1): a window closes once a packet arrives more than this many
+// windows past it. Larger values absorb more arrival jitter at the cost
+// of emission lag.
+func WithLateness(n int) Option {
+	return func(p *Pipeline) { p.lateness = n }
+}
+
+// WithRSDoS sets the curation thresholds (default rsdos.DefaultConfig).
+func WithRSDoS(cfg rsdos.Config) Option {
+	return func(p *Pipeline) { p.rsdosCfg = cfg }
+}
+
+// WithJournal persists the emission frontier to dir after every accepted
+// batch, enabling exactly-once emission across restarts.
+func WithJournal(dir *checkpoint.Dir) Option {
+	return func(p *Pipeline) { p.journal = dir }
+}
+
+// WithResume replays against the journal's cursor: emission is
+// suppressed until the stream passes the journaled frontier, so a batch
+// already in the sink is never delivered again. Requires WithJournal; a
+// journal without a cursor (fresh run) starts emitting immediately.
+func WithResume() Option {
+	return func(p *Pipeline) { p.resume = true }
+}
+
+// WithMetrics publishes stream instrumentation — lag, backlog, late
+// drops, per-batch join latency — into reg (all volatile: they describe
+// this run, not the deterministic result).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(p *Pipeline) { p.m = newStreamMetrics(reg) }
+}
+
+// WithContext threads ctx into the per-batch joins (default Background).
+func WithContext(ctx context.Context) Option {
+	return func(p *Pipeline) { p.ctx = ctx }
+}
+
+// New builds a streaming pipeline over the telescope, joining finalized
+// attacks through join and emitting to sink.
+func New(tel *telescope.Telescope, join *core.Pipeline, sink Sink, opts ...Option) (*Pipeline, error) {
+	p := &Pipeline{
+		ctx:      context.Background(),
+		join:     join,
+		sink:     sink,
+		lateness: 1,
+		rsdosCfg: rsdos.DefaultConfig(),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	p.win = rsdos.NewWindower(tel, p.lateness)
+	p.tr = rsdos.NewTracker(p.rsdosCfg)
+	if p.m.reg == nil {
+		p.m = newStreamMetrics(obs.New())
+	}
+	if p.resume {
+		if p.journal == nil {
+			return nil, fmt.Errorf("stream: WithResume requires WithJournal")
+		}
+		c, ok, err := p.journal.LoadCursor()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			p.resumed, p.suppress = c, true
+		}
+	}
+	return p, nil
+}
+
+// Resumed returns the journaled frontier the pipeline is replaying up
+// to, when resuming (false for fresh runs). File sinks truncate to
+// Cursor.SinkBytes before the first Offer.
+func (p *Pipeline) Resumed() (checkpoint.Cursor, bool) {
+	return p.resumed, p.resume && p.suppress
+}
+
+// Offer feeds one captured packet. The boolean reports whether the
+// packet was accepted (false = late, dropped and counted); the error is
+// a sink, journal or join failure — the stream is then wedged at the
+// journaled frontier and can be resumed.
+func (p *Pipeline) Offer(ts time.Time, pkt packet.Packet) (bool, error) {
+	if p.closed {
+		return false, fmt.Errorf("stream: Offer after Close")
+	}
+	ok := p.win.Add(ts, pkt)
+	if !ok {
+		p.m.lateDrops.Inc()
+	}
+	wm, started := p.win.Watermark()
+	if started {
+		if ct := wm - 1; !p.haveClosed || ct > p.lastClosed {
+			if err := p.step(ct, p.win.CloseReady(), false); err != nil {
+				return ok, err
+			}
+		}
+	}
+	p.publishGauges()
+	return ok, nil
+}
+
+// Close ends the stream: every remaining window is closed, every open
+// candidate finalized, and the last batch emitted.
+func (p *Pipeline) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	maxSeen, started := p.win.MaxSeen()
+	if !started {
+		return nil
+	}
+	err := p.step(maxSeen, p.win.CloseAll(), true)
+	p.publishGauges()
+	return err
+}
+
+// step advances the emission frontier to ct: closed-window observations
+// feed the tracker, newly unextendable attacks finalize, and the batch
+// is emitted (unless suppressed by a resume replay). final additionally
+// drains every open candidate (end of stream).
+func (p *Pipeline) step(ct clock.Window, obs []rsdos.WindowObs, final bool) error {
+	p.lastClosed, p.haveClosed = ct, true
+	windows := countWindows(obs)
+	for i := range obs {
+		p.tr.Observe(obs[i])
+	}
+	var attacks []rsdos.Attack
+	if final {
+		attacks = p.tr.Finish()
+	} else {
+		attacks = p.tr.Advance(ct)
+	}
+	if len(obs) == 0 && len(attacks) == 0 {
+		return nil
+	}
+	p.m.windowsClosed.Add(windows)
+
+	if p.suppress {
+		if ct <= p.resumed.ClosedThrough {
+			// Replay of a batch the sink already holds: rebuild state
+			// (the tracker consumed the observations, the attack
+			// numbering advances) but emit nothing and skip the join.
+			p.attackSeq += len(attacks)
+			return nil
+		}
+		// First batch past the journaled frontier: the replay must have
+		// reproduced the journaled run exactly, or the sink's contents
+		// and ours disagree.
+		if p.attackSeq != p.resumed.Attacks {
+			return fmt.Errorf("stream: resume replay diverged: %d attacks finalized at frontier %v, journal recorded %d",
+				p.attackSeq, p.resumed.ClosedThrough, p.resumed.Attacks)
+		}
+		p.eventsOut = p.resumed.Events
+		p.suppress = false
+	}
+
+	for i := range attacks {
+		p.attackSeq++
+		attacks[i].ID = p.attackSeq
+	}
+	var events []core.Event
+	if len(attacks) > 0 {
+		t0 := time.Now()
+		ev, err := p.join.EventsContext(p.ctx, attacks)
+		if err != nil {
+			return err
+		}
+		p.m.joinLatency.Observe(time.Since(t0))
+		events = ev
+	}
+	if err := p.sink.Emit(Batch{ClosedThrough: ct, Windows: obs, Attacks: attacks, Events: events}); err != nil {
+		return err
+	}
+	p.m.batches.Inc()
+	p.m.attacksFinalized.Add(int64(len(attacks)))
+	p.m.eventsEmitted.Add(int64(len(events)))
+	p.eventsOut += int64(len(events))
+	if p.journal != nil {
+		c := checkpoint.Cursor{ClosedThrough: ct, Attacks: p.attackSeq, Events: p.eventsOut}
+		if off, ok := p.sink.(OffsetSink); ok {
+			c.SinkBytes = off.Offset()
+		}
+		if err := p.journal.WriteCursor(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClosedThrough returns the current emission frontier (false before the
+// first close).
+func (p *Pipeline) ClosedThrough() (clock.Window, bool) {
+	return p.lastClosed, p.haveClosed
+}
+
+// LagWindows returns how many windows the emission frontier trails the
+// newest packet seen — the stream's end-to-end lag, bounded by
+// lateness+1 while packets flow.
+func (p *Pipeline) LagWindows() int64 {
+	maxSeen, started := p.win.MaxSeen()
+	if !started || !p.haveClosed {
+		return 0
+	}
+	return int64(maxSeen - p.lastClosed)
+}
+
+// LateDrops returns how many packets were dropped for arriving after
+// their window closed.
+func (p *Pipeline) LateDrops() int64 { return p.win.LateDrops() }
+
+func (p *Pipeline) publishGauges() {
+	if wm, ok := p.win.Watermark(); ok {
+		p.m.watermark.Set(int64(wm))
+	}
+	if ms, ok := p.win.MaxSeen(); ok {
+		p.m.maxSeen.Set(int64(ms))
+	}
+	p.m.backlog.Set(int64(p.win.Backlog()))
+	p.m.lag.Set(p.LagWindows())
+	p.m.candidates.Set(int64(p.tr.Open()))
+	p.m.lateDropsG.Set(p.win.LateDrops())
+}
+
+// countWindows counts distinct windows in a (window, victim)-ordered
+// observation batch.
+func countWindows(obs []rsdos.WindowObs) int64 {
+	var n int64
+	for i := range obs {
+		if i == 0 || obs[i].Window != obs[i-1].Window {
+			n++
+		}
+	}
+	return n
+}
+
+// streamMetrics is the stream.* instrument set — all volatile; a live
+// stream's lag and drop counts describe the run, not the result.
+type streamMetrics struct {
+	reg              *obs.Registry
+	lateDrops        *obs.Counter
+	batches          *obs.Counter
+	windowsClosed    *obs.Counter
+	attacksFinalized *obs.Counter
+	eventsEmitted    *obs.Counter
+	watermark        *obs.Gauge
+	maxSeen          *obs.Gauge
+	backlog          *obs.Gauge
+	lag              *obs.Gauge
+	candidates       *obs.Gauge
+	lateDropsG       *obs.Gauge
+	joinLatency      *obs.Histogram
+}
+
+func newStreamMetrics(reg *obs.Registry) streamMetrics {
+	if reg == nil {
+		reg = obs.New()
+	}
+	return streamMetrics{
+		reg:              reg,
+		lateDrops:        reg.Counter("stream.late_drops", obs.Volatile()),
+		batches:          reg.Counter("stream.batches_emitted", obs.Volatile()),
+		windowsClosed:    reg.Counter("stream.windows_closed", obs.Volatile()),
+		attacksFinalized: reg.Counter("stream.attacks_finalized", obs.Volatile()),
+		eventsEmitted:    reg.Counter("stream.events_emitted", obs.Volatile()),
+		watermark:        reg.Gauge("stream.watermark", obs.Volatile()),
+		maxSeen:          reg.Gauge("stream.max_seen_window", obs.Volatile()),
+		backlog:          reg.Gauge("stream.backlog_windows", obs.Volatile()),
+		lag:              reg.Gauge("stream.lag_windows", obs.Volatile()),
+		candidates:       reg.Gauge("stream.open_candidates", obs.Volatile()),
+		lateDropsG:       reg.Gauge("stream.late_drops_total", obs.Volatile()),
+		joinLatency:      reg.Histogram("stream.join_latency", obs.Volatile()),
+	}
+}

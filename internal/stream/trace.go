@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"dnsddos/internal/attacksim"
+	"dnsddos/internal/backscatter"
+	"dnsddos/internal/clock"
+	"dnsddos/internal/packet"
+	"dnsddos/internal/telescope"
+)
+
+// trace.go generates deterministic telescope packet traces from an
+// attack schedule: the packet-level ground truth both the batch
+// aggregator and the streaming pipeline consume in the parity harness,
+// and the input source of cmd/streamjoin. The same seed always produces
+// the same packets; JitterWindows perturbs only the arrival order (via
+// an independent rng), so the in-order and jittered replays of one seed
+// carry identical packet sets.
+
+// TraceConfig seeds a packet-trace replay.
+type TraceConfig struct {
+	// Seed drives flood sampling, spoofed sources and victim responses.
+	Seed uint64
+	// Rate downsamples the attack floods (1.0 = every packet). Keep well
+	// below 1 for realistic schedules — the telescope thins by ≈1/341
+	// *after* the victim responds, so the flood itself is the hot loop.
+	Rate float64
+	// From..To is the inclusive window range replayed.
+	From, To clock.Window
+	// JitterWindows bounds arrival disorder: packets are emitted in
+	// (capture time + U[0, JitterWindows windows)) order, so a packet
+	// trails the newest-seen window by at most JitterWindows — a stream
+	// lateness allowance of JitterWindows accepts every packet. 0 emits
+	// in capture-time order within each window.
+	JitterWindows int
+	// ResponseRate is the victims' answer fraction (0 means 1.0).
+	ResponseRate float64
+}
+
+// Replay generates the trace, invoking emit for every captured
+// backscatter packet. emit returns false to stop early.
+func Replay(cfg TraceConfig, sched *attacksim.Schedule, tel *telescope.Telescope, emit func(ts time.Time, p packet.Packet) bool) {
+	type timed struct {
+		ts time.Time
+		at time.Time // arrival (jittered) time; == ts when JitterWindows is 0
+		p  packet.Packet
+	}
+	gen := rand.New(rand.NewPCG(cfg.Seed, 0x7261636b)) // packets
+	jit := rand.New(rand.NewPCG(cfg.Seed, 0x6a697474)) // arrival order only
+	victim := backscatter.DefaultNameserverVictim(false)
+	if cfg.ResponseRate > 0 {
+		victim.ResponseRate = cfg.ResponseRate
+	}
+	jitterSpan := time.Duration(cfg.JitterWindows) * clock.WindowDur
+
+	// Jitter is applied block-wise: blocks of JitterWindows+1 windows are
+	// collected, ordered by arrival time, and flushed — bounded memory,
+	// and disorder never exceeds the advertised JitterWindows bound.
+	blockWindows := cfg.JitterWindows + 1
+	var block []timed
+	flush := func() bool {
+		sort.SliceStable(block, func(i, j int) bool { return block[i].at.Before(block[j].at) })
+		for _, tp := range block {
+			if !emit(tp.ts, tp.p) {
+				return false
+			}
+		}
+		block = block[:0]
+		return true
+	}
+
+	for w := cfg.From; w <= cfg.To; w++ {
+		var batch []timed
+		for _, spec := range sched.ActiveAt(w) {
+			spec.Flood(gen, w, cfg.Rate, func(ts time.Time, p packet.Packet) bool {
+				if rt, resp, ok := victim.Respond(gen, ts, p); ok && tel.Contains(resp.IP.Dst) {
+					batch = append(batch, timed{ts: rt, at: rt, p: resp})
+				}
+				return true
+			})
+		}
+		// capture-time order within the window; response timestamps can
+		// spill ≤1ms into the next window and sort to the batch tail, so
+		// the in-order trace stays window-monotonic
+		sort.SliceStable(batch, func(i, j int) bool { return batch[i].ts.Before(batch[j].ts) })
+		if jitterSpan > 0 {
+			for i := range batch {
+				batch[i].at = batch[i].ts.Add(time.Duration(jit.Int64N(int64(jitterSpan))))
+			}
+		}
+		block = append(block, batch...)
+		if int(w-cfg.From)%blockWindows == blockWindows-1 || w == cfg.To {
+			if !flush() {
+				return
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -268,5 +269,36 @@ func TestRussianSurgeInMarch2022(t *testing.T) {
 	// scripted case studies (mil.ru ×3, RDZ ×3) plus the surge
 	if ruAttacks < 10 {
 		t.Errorf("March-2022 attacks on RU providers = %d, want the surge", ruAttacks)
+	}
+}
+
+func TestWithSkipJoinLeavesPipelineReady(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := caseStudyConfig()
+	cfg.FromDay, cfg.ToDay = 28, 30
+	s, err := RunContext(context.Background(), cfg, WithSkipJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 0 || len(s.Classified) != 0 {
+		t.Fatalf("WithSkipJoin still joined: %d events, %d classified", len(s.Events), len(s.Classified))
+	}
+	if s.Pipeline == nil {
+		t.Fatal("WithSkipJoin must leave the join pipeline built for external drivers")
+	}
+	// the pipeline stays usable: joining the inferred feed afterwards
+	// matches what the un-skipped run would have produced
+	events, err := s.Pipeline.EventsContext(context.Background(), s.Attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(ref.Events) {
+		t.Fatalf("deferred join found %d events, full run %d", len(events), len(ref.Events))
 	}
 }

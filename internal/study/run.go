@@ -73,6 +73,11 @@ type options struct {
 	shardBits int
 	// legacyJoin selects the historical linear-scan join engine.
 	legacyJoin bool
+	// skipJoin builds the join pipeline but skips the final batch
+	// classify+join pass: Study.Classified and Study.Events stay empty.
+	// The streaming service uses this — it joins window-by-window itself
+	// and only needs the world, measurements and pipeline.
+	skipJoin bool
 }
 
 // Option configures one RunContext knob.
@@ -130,6 +135,15 @@ func WithShardBits(bits int) Option {
 // instead of the interval-indexed sharded engine.
 func WithLegacyJoin() Option {
 	return func(o *options) { o.legacyJoin = true }
+}
+
+// WithSkipJoin skips the final batch classify+join pass (Study.Classified
+// and Study.Events stay empty) while still building Study.Pipeline over
+// the swept measurements. Callers that join incrementally — the streaming
+// pipeline — use this to avoid paying a full-feed join they will redo
+// window by window.
+func WithSkipJoin() Option {
+	return func(o *options) { o.skipJoin = true }
 }
 
 // SkippedDay records one quarantined day-shard.
@@ -289,10 +303,12 @@ func RunContext(ctx context.Context, cfg Config, optFns ...Option) (*Study, erro
 	if q := s.Report.QuarantinedDays(); len(q) > 0 {
 		s.Pipeline.SetQuarantinedDays(q)
 	}
-	s.Classified = s.Pipeline.Classify(s.Attacks)
-	var err error
-	if s.Events, err = s.Pipeline.EventsContext(ctx, s.Attacks); err != nil {
-		return nil, err
+	if !opts.skipJoin {
+		s.Classified = s.Pipeline.Classify(s.Attacks)
+		var err error
+		if s.Events, err = s.Pipeline.EventsContext(ctx, s.Attacks); err != nil {
+			return nil, err
+		}
 	}
 	stage("join", t0)
 	snap := s.Metrics.StableSnapshot()

@@ -24,8 +24,10 @@ import (
 type Telescope struct {
 	space *netx.PrefixSet
 	// slash16s caches the /16 blocks covered by the space, for the
-	// /16-spread attack signal.
-	slash16s []netx.Prefix
+	// /16-spread attack signal; slash16Idx inverts it for the per-packet
+	// index lookup on the aggregation hot path.
+	slash16s   []netx.Prefix
+	slash16Idx map[netx.Prefix]int
 }
 
 // New builds a telescope over the given disjoint prefixes.
@@ -47,6 +49,10 @@ func New(space *netx.PrefixSet) *Telescope {
 				break
 			}
 		}
+	}
+	t.slash16Idx = make(map[netx.Prefix]int, len(t.slash16s))
+	for i, p := range t.slash16s {
+		t.slash16Idx[p] = i
 	}
 	return t
 }
@@ -97,11 +103,8 @@ func (t *Telescope) Slash16Index(dst netx.Addr) int {
 	if !t.space.Contains(dst) {
 		return -1
 	}
-	k := dst.Slash16()
-	for i, p := range t.slash16s {
-		if p == k {
-			return i
-		}
+	if i, ok := t.slash16Idx[dst.Slash16()]; ok {
+		return i
 	}
 	return -1
 }
