@@ -5,12 +5,12 @@
 
 GO ?= go
 
-.PHONY: build test obs stream race-gate chaos bench-throughput bench-join report
+.PHONY: build test obs stream distjoin race-gate chaos bench-throughput bench-join report
 
 build:
 	$(GO) build ./...
 
-test: build obs stream
+test: build obs stream distjoin
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -bench 'BenchmarkJoin' -benchtime 1x -run '^$$' .
@@ -35,13 +35,24 @@ obs:
 	$(GO) test -race ./internal/study/ -run 'TestRunMetrics' -count 1
 	$(GO) test ./internal/dnswire/ -run 'Fuzz' -count 1
 
-# Concurrency gate: run before merging changes to the serving path or
-# the sharded join engine (shared NS index, day-snapshot LRU, worker
-# pool).
+# Distributed-join chaos leg: a four-worker fleet with one worker killed
+# mid-shard and one writing through a corrupting faultinject stream must
+# still produce byte-identical output, plus the poisoned-day quarantine,
+# graceful-drain, real-SIGKILL-subprocess, and coordinator kill-and-
+# resume parity suites.
+distjoin:
+	$(GO) test ./internal/distjoin/ \
+		-run 'TestChaosFleet|TestDistributedParity|TestPoisonedDayQuarantineParity|TestGracefulDrain|TestCoordinatorKillAndResume|TestSIGKILLWorkerMidRun' \
+		-count 1
+	$(GO) test ./internal/faultinject/ -run 'TestStream' -count 1
+
+# Concurrency gate: run before merging changes to the serving path, the
+# sharded join engine (shared NS index, day-snapshot LRU, worker pool),
+# or the distributed-join control plane.
 race-gate:
 	$(GO) vet ./... && $(GO) build ./... && \
 	$(GO) test -race ./internal/authserver/... ./internal/resolver/... ./internal/dnsload/... \
-		./internal/core/... ./internal/cache/... ./internal/stream/...
+		./internal/core/... ./internal/cache/... ./internal/stream/... ./internal/distjoin/...
 
 # Chaos gate: the fault-injection and graceful-degradation regression
 # suite under the race detector — the netem-style wrappers, the retrying

@@ -13,6 +13,12 @@
 //	joinpipe [-domains N] [-attacks N] [-out FILE] [-quick] [-config FILE]
 //	         [-checkpoint DIR] [-resume] [-shard-timeout D] [-metrics-addr :9090]
 //	         [-legacy-join] [-index-cache N] [-shard-by BITS]
+//	         [-coordinator HOST:PORT] [-min-workers N] [-heartbeat D] [-ranges N]
+//
+// With -coordinator, joinpipe runs no sweeps or joins itself: it listens
+// on the given address and distributes the work across joinworker
+// processes (DESIGN §3.6), with the same checkpoint/resume and
+// quarantine semantics and byte-identical output.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"dnsddos/internal/distjoin"
 	"dnsddos/internal/obs"
 	"dnsddos/internal/report"
 	"dnsddos/internal/study"
@@ -61,6 +68,10 @@ func run() (err error) {
 	legacyJoin := flag.Bool("legacy-join", false, "use the historical linear-scan join engine instead of the interval-indexed sharded engine")
 	indexCache := flag.Int("index-cache", 0, "join-engine day-snapshot LRU size (0 = default, negative = unbounded)")
 	shardBy := flag.Int("shard-by", 0, "victim-prefix bits the join shards by (0 = default /16)")
+	coordAddr := flag.String("coordinator", "", "run as fleet coordinator: listen on this address and distribute the work to joinworker processes")
+	minWorkers := flag.Int("min-workers", 1, "coordinator mode: hold dispatch until this many workers register")
+	heartbeat := flag.Duration("heartbeat", time.Second, "coordinator mode: fleet heartbeat interval")
+	numRanges := flag.Int("ranges", 0, "coordinator mode: join shard-range partition width (0 = default)")
 	flag.Parse()
 
 	if *resume && *ckptDir == "" {
@@ -103,20 +114,44 @@ func run() (err error) {
 	}
 
 	start := time.Now()
-	runOpts := []study.Option{
-		study.WithCheckpointDir(*ckptDir),
-		study.WithResume(*resume),
-		study.WithShardTimeout(*shardTimeout),
-		study.WithMetrics(reg),
-		study.WithIndexCacheSize(*indexCache),
-		study.WithShardBits(*shardBy),
-	}
-	if *legacyJoin {
-		runOpts = append(runOpts, study.WithLegacyJoin())
-	}
-	s, err := study.RunContext(ctx, cfg, runOpts...)
-	if err != nil {
-		return err
+	var s *study.Study
+	if *coordAddr != "" {
+		if *legacyJoin || *indexCache != 0 || *shardBy != 0 || *shardTimeout != 0 {
+			return fmt.Errorf("-legacy-join, -index-cache, -shard-by and -shard-timeout do not apply in coordinator mode")
+		}
+		coord, err := distjoin.NewCoordinator(cfg,
+			distjoin.WithListenAddr(*coordAddr),
+			distjoin.WithHeartbeatInterval(*heartbeat),
+			distjoin.WithCheckpointDir(*ckptDir),
+			distjoin.WithResume(*resume),
+			distjoin.WithMetrics(reg),
+			distjoin.WithMinWorkers(*minWorkers),
+			distjoin.WithNumRanges(*numRanges),
+		)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "joinpipe: coordinating on %s (waiting for %d worker(s): joinworker -connect %s)\n",
+			coord.Addr(), *minWorkers, coord.Addr())
+		if s, err = coord.Run(ctx); err != nil {
+			return err
+		}
+	} else {
+		runOpts := []study.Option{
+			study.WithCheckpointDir(*ckptDir),
+			study.WithResume(*resume),
+			study.WithShardTimeout(*shardTimeout),
+			study.WithMetrics(reg),
+			study.WithIndexCacheSize(*indexCache),
+			study.WithShardBits(*shardBy),
+		}
+		if *legacyJoin {
+			runOpts = append(runOpts, study.WithLegacyJoin())
+		}
+		var err error
+		if s, err = study.RunContext(ctx, cfg, runOpts...); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "joinpipe: %d attacks inferred, %d events joined (%.1fs",
 		len(s.Attacks), len(s.Events), time.Since(start).Seconds())

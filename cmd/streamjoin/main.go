@@ -181,6 +181,18 @@ func run() error {
 		return true
 	})
 	if streamErr != nil {
+		// Terminated (or wedged) mid-stream: flush and close the sink
+		// *now*, with errors propagated, before reporting the journal
+		// frontier as resumable — the deferred close would swallow a
+		// failure and leave the journaled SinkBytes offset pointing past
+		// what the file durably holds.
+		if err := sink.shutdown(); err != nil {
+			return fmt.Errorf("closing sink after interrupt: %w (stream stopped: %v)", err, streamErr)
+		}
+		if ct, ok := p.ClosedThrough(); ok {
+			fmt.Fprintf(os.Stderr, "streamjoin: sink flushed and closed at durable frontier window %d (offset %d)\n",
+				int64(ct), sink.Offset())
+		}
 		return streamErr
 	}
 	if err := p.Close(); err != nil {
@@ -284,6 +296,21 @@ func (s *csvSink) sync() error {
 	}
 	s.off = off
 	return nil
+}
+
+// shutdown is the signal-path teardown: sync whatever the last Emit
+// left buffered, then close, propagating the first failure. Ordered
+// before the run reports its journal frontier so the cursor never
+// claims bytes the sink has not durably written.
+func (s *csvSink) shutdown() error {
+	if s.f == nil {
+		return nil
+	}
+	if err := s.sync(); err != nil {
+		s.close()
+		return err
+	}
+	return s.close()
 }
 
 func (s *csvSink) close() error {

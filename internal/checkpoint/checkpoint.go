@@ -58,11 +58,14 @@ func Create(path string, hdr Header) (*Dir, error) {
 	if err := os.MkdirAll(path, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating %s: %w", path, err)
 	}
-	old, err := filepath.Glob(filepath.Join(path, "day_*.ckpt"))
+	// every record type shares the .ckpt suffix — day snapshots, stream
+	// cursors, and named auxiliary records (distributed join ranges) are
+	// all stale state of the previous run and must go
+	old, err := filepath.Glob(filepath.Join(path, "*.ckpt"))
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: scanning %s: %w", path, err)
 	}
-	old = append(old, filepath.Join(path, headerName), filepath.Join(path, cursorName))
+	old = append(old, filepath.Join(path, headerName))
 	for _, f := range old {
 		if err := os.Remove(f); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("checkpoint: clearing %s: %w", f, err)
@@ -165,6 +168,38 @@ func (d *Dir) loadRecord(name string, v any) (bool, error) {
 		return false, fmt.Errorf("checkpoint: %s: decoding payload: %w", full, err)
 	}
 	return true, nil
+}
+
+// WriteNamed durably records an auxiliary run-state record under the
+// given name (a bare filename ending in ".ckpt") using the same envelope
+// as day snapshots — magic, version, length-prefixed gob, CRC-32
+// trailer, atomic rename. The distributed-join coordinator journals its
+// join-shard results and plan fingerprint this way so a killed
+// coordinator resumes without re-joining completed shard ranges.
+func (d *Dir) WriteNamed(name string, v any) error {
+	if err := validRecordName(name); err != nil {
+		return err
+	}
+	return d.writeRecord(name, v)
+}
+
+// LoadNamed reads an auxiliary record written by WriteNamed. The boolean
+// is false when no such record exists; a record that exists but fails
+// any integrity check is an error.
+func (d *Dir) LoadNamed(name string, v any) (bool, error) {
+	if err := validRecordName(name); err != nil {
+		return false, err
+	}
+	return d.loadRecord(name, v)
+}
+
+// validRecordName rejects names that would escape the directory or dodge
+// the Create-time cleanup glob.
+func validRecordName(name string) error {
+	if name == "" || name != filepath.Base(name) || filepath.Ext(name) != ".ckpt" {
+		return fmt.Errorf("checkpoint: invalid record name %q (want a bare *.ckpt filename)", name)
+	}
+	return nil
 }
 
 // WriteDay durably records one completed day's snapshot.

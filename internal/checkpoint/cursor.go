@@ -1,6 +1,9 @@
 package checkpoint
 
-import "dnsddos/internal/clock"
+import (
+	"dnsddos/internal/clock"
+	"dnsddos/internal/netx"
+)
 
 // cursor.go adds the streaming pipeline's emission journal to a
 // checkpoint directory. The batch path checkpoints whole measurement
@@ -29,6 +32,17 @@ type Cursor struct {
 	// A file-backed sink truncates to this offset on resume, discarding
 	// any partial write from the crash.
 	SinkBytes int64
+	// LastAttackWindow/LastAttackVictim identify the last attack
+	// finalized at the frontier — the (window, victim) pair the attack
+	// numbering is anchored to. A resume replay that diverges can then
+	// report both sides of the mismatch (what the journal recorded vs
+	// what the replay produced) instead of a bare record index, which is
+	// what an operator needs to locate the offending input. HaveLast
+	// distinguishes "no attacks yet" from a pre-extension cursor whose
+	// gob payload simply lacks the fields.
+	LastAttackWindow clock.Window
+	LastAttackVictim netx.Addr
+	HaveLast         bool
 }
 
 // WriteCursor durably records the stream emission frontier. It shares

@@ -27,6 +27,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -124,12 +125,46 @@ type dnsVictim struct {
 	attacks []int32 // feed positions, sorted by (start, position)
 }
 
-// taggedEvent carries an event with the two sort keys that reproduce the
-// legacy emission order.
-type taggedEvent struct {
-	attackIdx int32
-	nssetIdx  int32
-	ev        Event
+// TaggedEvent carries an event with the two sort keys that reproduce the
+// legacy emission order: the attack's feed position and the containing
+// NSSet's rank among the victim's sorted sets. Exported (with gob-friendly
+// value fields) so a distributed worker can ship a shard range's events to
+// the coordinator, which restores the global order with MergeTaggedEvents.
+type TaggedEvent struct {
+	AttackIdx int32
+	NSSetIdx  int32
+	Event     Event
+}
+
+// lessTagged is the legacy emission order over tagged events.
+func lessTagged(a, b TaggedEvent) bool {
+	if a.AttackIdx != b.AttackIdx {
+		return a.AttackIdx < b.AttackIdx
+	}
+	return a.NSSetIdx < b.NSSetIdx
+}
+
+// MergeTaggedEvents merges per-shard-range event buffers (in any order,
+// from any number of workers) into the exact event sequence the
+// single-process join emits: one global sort by (feed position, NSSet
+// rank) and the tags are stripped. Ranges cover disjoint shard sets, so
+// no deduplication is needed — exactly-once delivery is the caller's
+// (coordinator journal's) contract.
+func MergeTaggedEvents(parts [][]TaggedEvent) []Event {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	merged := make([]TaggedEvent, 0, n)
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return lessTagged(merged[i], merged[j]) })
+	out := make([]Event, len(merged))
+	for i, te := range merged {
+		out[i] = te.Event
+	}
+	return out
 }
 
 // joinIndex is one feed's immutable join plan: the attack interval index
@@ -265,6 +300,17 @@ func (p *Pipeline) prewarmDays(aix *AttackIndex, direct []dnsVictim) {
 // worker writing its own slot of the per-shard buffer matrix, then merges
 // deterministically.
 func (p *Pipeline) runShards(ctx context.Context, aix *AttackIndex, shards [][]dnsVictim) ([]Event, error) {
+	merged, err := p.runShardRange(ctx, aix, shards)
+	out := MergeTaggedEvents([][]TaggedEvent{merged})
+	p.metrics.events.Add(int64(len(out)))
+	return out, err
+}
+
+// runShardRange joins a contiguous shard slice through the bounded worker
+// pool and returns the tagged events sorted in legacy emission order —
+// the shared engine under both the single-process join (runShards) and
+// the distributed shard-range API (JoinShardRange).
+func (p *Pipeline) runShardRange(ctx context.Context, aix *AttackIndex, shards [][]dnsVictim) ([]TaggedEvent, error) {
 	workers := p.joinWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -273,7 +319,7 @@ func (p *Pipeline) runShards(ctx context.Context, aix *AttackIndex, shards [][]d
 		workers = len(shards)
 	}
 
-	buffers := make([][]taggedEvent, len(shards))
+	buffers := make([][]TaggedEvent, len(shards))
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -302,31 +348,56 @@ dispatch:
 	for _, b := range buffers {
 		n += len(b)
 	}
-	merged := make([]taggedEvent, 0, n)
+	merged := make([]TaggedEvent, 0, n)
 	for _, b := range buffers {
 		merged = append(merged, b...)
 	}
 	// Shards cover disjoint ascending victim ranges but attacks interleave
 	// across victims; restore the feed order the legacy scan emits in.
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].attackIdx != merged[j].attackIdx {
-			return merged[i].attackIdx < merged[j].attackIdx
-		}
-		return merged[i].nssetIdx < merged[j].nssetIdx
-	})
-	out := make([]Event, len(merged))
-	for i, te := range merged {
-		out[i] = te.ev
+	sort.Slice(merged, func(i, j int) bool { return lessTagged(merged[i], merged[j]) })
+	return merged, ctx.Err()
+}
+
+// JoinShardCount returns how many victim-prefix shards the feed's join
+// plan contains — the unit of distribution: a coordinator partitions
+// [0, JoinShardCount) into contiguous ranges and hands each range to a
+// worker's JoinShardRange. The count is a pure function of the feed and
+// the pipeline's frozen world, so every process that rebuilt the same
+// world from the same config computes the same value.
+func (p *Pipeline) JoinShardCount(attacks []rsdos.Attack) int {
+	return len(p.joinIndexFor(attacks).shards)
+}
+
+// JoinShardRange joins the shard range [from, to) of the feed's join plan
+// and returns its tagged events in legacy emission order. Disjoint ranges
+// joined in different processes and merged with MergeTaggedEvents are
+// byte-identical to one EventsContext call over the whole feed.
+func (p *Pipeline) JoinShardRange(ctx context.Context, attacks []rsdos.Attack, from, to int) ([]TaggedEvent, error) {
+	ji := p.joinIndexFor(attacks)
+	if from < 0 || to < from || to > len(ji.shards) {
+		return nil, fmt.Errorf("core: shard range [%d, %d) out of bounds (plan has %d shards)", from, to, len(ji.shards))
 	}
-	p.metrics.events.Add(int64(len(out)))
-	return out, ctx.Err()
+	shards := ji.shards[from:to]
+	if len(shards) == 0 {
+		return nil, ctx.Err()
+	}
+	// Prewarm only the days this range's victims can touch.
+	var vs []dnsVictim
+	for _, s := range shards {
+		vs = append(vs, s...)
+	}
+	p.prewarmDays(ji.aix, vs)
+	merged, err := p.runShardRange(ctx, ji.aix, shards)
+	p.metrics.events.Add(int64(len(merged)))
+	p.metrics.publishCacheStats(p.dayCache)
+	return merged, err
 }
 
 // joinShard joins one shard's victims. Cancellation is checked between
 // attacks; a cancelled shard returns the events built so far (the overall
 // join then reports ctx.Err() and callers treat the result as partial).
-func (p *Pipeline) joinShard(ctx context.Context, aix *AttackIndex, victims []dnsVictim) []taggedEvent {
-	var out []taggedEvent
+func (p *Pipeline) joinShard(ctx context.Context, aix *AttackIndex, victims []dnsVictim) []TaggedEvent {
+	var out []TaggedEvent
 	checked := 0
 	for _, dv := range victims {
 		sets := p.ix.NSSetsContaining(dv.v)
@@ -358,7 +429,7 @@ func (p *Pipeline) joinShard(ctx context.Context, aix *AttackIndex, victims []dn
 			snap := p.snapshotFor(p.measurableDay(snapDay))
 			for ki, k := range sets {
 				if e, ok := p.buildEventIndexed(ca, snap, k); ok {
-					out = append(out, taggedEvent{attackIdx: ai, nssetIdx: int32(ki), ev: e})
+					out = append(out, TaggedEvent{AttackIdx: ai, NSSetIdx: int32(ki), Event: e})
 				}
 			}
 		}

@@ -249,6 +249,29 @@ func (r *Registry) Merge(src *Registry) {
 	}
 }
 
+// ImportSnapshot folds a serialized Snapshot into r the way Merge folds
+// a live registry: counters and histogram buckets add, gauges take the
+// snapshot's value. It is the cross-process half of the study pipeline's
+// exactly-once metric merge — a distributed worker ships each completed
+// day-shard's registry to the coordinator as a Snapshot (gob/JSON travels
+// where a *Registry cannot), and the coordinator folds it in once when it
+// accepts the shard. Metrics created by the import are registered with
+// the given options (typically none: shipped sweep metrics are stable).
+func (r *Registry) ImportSnapshot(s Snapshot, opts ...Option) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name, opts...).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name, opts...).Set(v)
+	}
+	for name, hs := range s.Histograms {
+		r.Histogram(name, opts...).importSnapshot(hs)
+	}
+}
+
 // Snapshot is a point-in-time copy of a registry, shaped for
 // deterministic JSON encoding: maps marshal with sorted keys
 // (encoding/json's behavior) and every struct field is ordered. Counter

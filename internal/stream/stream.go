@@ -38,6 +38,7 @@ import (
 	"dnsddos/internal/checkpoint"
 	"dnsddos/internal/clock"
 	"dnsddos/internal/core"
+	"dnsddos/internal/netx"
 	"dnsddos/internal/obs"
 	"dnsddos/internal/packet"
 	"dnsddos/internal/rsdos"
@@ -95,6 +96,13 @@ type Pipeline struct {
 	attackSeq  int
 	eventsOut  int64
 	closed     bool
+
+	// lastAttackWin/lastAttackVictim identify the most recently finalized
+	// attack — journaled with the cursor so a diverging resume replay can
+	// name the offending (window, victim) pair on both sides.
+	lastAttackWin    clock.Window
+	lastAttackVictim netx.Addr
+	haveLastAttack   bool
 
 	lateness int
 	rsdosCfg rsdos.Config
@@ -251,14 +259,19 @@ func (p *Pipeline) step(ct clock.Window, obs []rsdos.WindowObs, final bool) erro
 			// (the tracker consumed the observations, the attack
 			// numbering advances) but emit nothing and skip the join.
 			p.attackSeq += len(attacks)
+			p.noteLastAttack(attacks)
 			return nil
 		}
 		// First batch past the journaled frontier: the replay must have
 		// reproduced the journaled run exactly, or the sink's contents
-		// and ours disagree.
+		// and ours disagree. Report both sides of the mismatch — the
+		// replay's frontier attack and the journaled one — so the
+		// operator can locate the offending input, not just a count.
 		if p.attackSeq != p.resumed.Attacks {
-			return fmt.Errorf("stream: resume replay diverged: %d attacks finalized at frontier %v, journal recorded %d",
-				p.attackSeq, p.resumed.ClosedThrough, p.resumed.Attacks)
+			return fmt.Errorf("stream: resume replay diverged at frontier %v: replay finalized %d attacks (last %s), journal recorded %d (last %s)",
+				p.resumed.ClosedThrough,
+				p.attackSeq, describeAttack(p.lastAttackWin, p.lastAttackVictim, p.haveLastAttack),
+				p.resumed.Attacks, describeAttack(p.resumed.LastAttackWindow, p.resumed.LastAttackVictim, p.resumed.HaveLast))
 		}
 		p.eventsOut = p.resumed.Events
 		p.suppress = false
@@ -268,6 +281,7 @@ func (p *Pipeline) step(ct clock.Window, obs []rsdos.WindowObs, final bool) erro
 		p.attackSeq++
 		attacks[i].ID = p.attackSeq
 	}
+	p.noteLastAttack(attacks)
 	var events []core.Event
 	if len(attacks) > 0 {
 		t0 := time.Now()
@@ -286,7 +300,14 @@ func (p *Pipeline) step(ct clock.Window, obs []rsdos.WindowObs, final bool) erro
 	p.m.eventsEmitted.Add(int64(len(events)))
 	p.eventsOut += int64(len(events))
 	if p.journal != nil {
-		c := checkpoint.Cursor{ClosedThrough: ct, Attacks: p.attackSeq, Events: p.eventsOut}
+		c := checkpoint.Cursor{
+			ClosedThrough:    ct,
+			Attacks:          p.attackSeq,
+			Events:           p.eventsOut,
+			LastAttackWindow: p.lastAttackWin,
+			LastAttackVictim: p.lastAttackVictim,
+			HaveLast:         p.haveLastAttack,
+		}
 		if off, ok := p.sink.(OffsetSink); ok {
 			c.SinkBytes = off.Offset()
 		}
@@ -295,6 +316,24 @@ func (p *Pipeline) step(ct clock.Window, obs []rsdos.WindowObs, final bool) erro
 		}
 	}
 	return nil
+}
+
+// noteLastAttack records the (window, victim) identity of the most
+// recently finalized attack for the cursor journal.
+func (p *Pipeline) noteLastAttack(attacks []rsdos.Attack) {
+	if len(attacks) == 0 {
+		return
+	}
+	last := attacks[len(attacks)-1]
+	p.lastAttackWin, p.lastAttackVictim, p.haveLastAttack = last.StartWindow, last.Victim, true
+}
+
+// describeAttack renders one side of a divergence report.
+func describeAttack(w clock.Window, v netx.Addr, have bool) string {
+	if !have {
+		return "none"
+	}
+	return fmt.Sprintf("window %d victim %s", w, v)
 }
 
 // ClosedThrough returns the current emission frontier (false before the

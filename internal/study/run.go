@@ -7,7 +7,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
-	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -19,11 +18,6 @@ import (
 	"dnsddos/internal/nsset"
 	"dnsddos/internal/obs"
 	"dnsddos/internal/openintel"
-	"dnsddos/internal/resolver"
-	"dnsddos/internal/rsdos"
-	"dnsddos/internal/scenario"
-	"dnsddos/internal/simnet"
-	"dnsddos/internal/telescope"
 )
 
 // run.go is the supervised run loop: RunContext executes the study as
@@ -78,6 +72,22 @@ type options struct {
 	// The streaming service uses this — it joins window-by-window itself
 	// and only needs the world, measurements and pipeline.
 	skipJoin bool
+}
+
+// pipelineOptions translates the run-loop's join-engine knobs into extra
+// core options for Session.NewPipeline.
+func (o *options) pipelineOptions() []core.Option {
+	var extra []core.Option
+	if o.indexCacheSize != 0 {
+		extra = append(extra, core.WithDayCacheSize(o.indexCacheSize))
+	}
+	if o.shardBits != 0 {
+		extra = append(extra, core.WithShardBits(o.shardBits))
+	}
+	if o.legacyJoin {
+		extra = append(extra, core.WithLegacyJoin())
+	}
+	return extra
 }
 
 // Option configures one RunContext knob.
@@ -209,9 +219,6 @@ func ConfigHash(cfg Config) (string, error) {
 // checkpoint I/O failure — a panicking or stuck day-shard never fails
 // the run.
 func RunContext(ctx context.Context, cfg Config, optFns ...Option) (*Study, error) {
-	if err := Validate(cfg); err != nil {
-		return nil, err
-	}
 	var opts options
 	for _, o := range optFns {
 		o(&opts)
@@ -222,29 +229,12 @@ func RunContext(ctx context.Context, cfg Config, optFns ...Option) (*Study, erro
 	}
 	stage := stageTimer(s.Metrics)
 
-	t0 := time.Now()
-	s.World = scenario.GenerateWorld(cfg.World)
-	s.Schedule = scenario.GenerateSchedule(cfg.Attacks, s.World)
-	s.Telescope = telescope.NewUCSD()
-	s.Obs = scenario.SynthesizeObs(cfg.Synth, s.World, s.Schedule.Sched, s.Telescope)
-	if cfg.IncludeNoise {
-		s.Obs = append(s.Obs, scenario.SynthesizeNoise(cfg.Noise, s.Telescope)...)
-	}
-	stage("generate", t0)
-	if err := ctx.Err(); err != nil {
+	sess, err := NewSession(ctx, cfg, s.Metrics)
+	if err != nil {
 		return nil, err
 	}
-	t0 = time.Now()
-	s.Attacks = rsdos.Infer(cfg.RSDoS, s.Obs)
-	stage("infer", t0)
-
-	s.Net = simnet.New(cfg.Net, s.World.DB, s.Schedule.Sched, s.Schedule.Blackouts...)
-	s.Resolver = resolver.New(cfg.Resolver, s.World.DB, s.Net)
-	s.Engine = openintel.NewEngine(s.World.DB, s.Resolver, cfg.MeasureSeed)
-
-	s.Agg = nsset.NewAggregator()
-	filter := s.windowFilter()
-	s.Agg.SetWindowFilter(filter)
+	s.attachSession(sess)
+	s.Agg = sess.NewAggregator()
 
 	var ckpt *checkpoint.Dir
 	done := make(map[clock.Day]bool)
@@ -272,37 +262,14 @@ func RunContext(ctx context.Context, cfg Config, optFns ...Option) (*Study, erro
 		}
 	}
 
-	t0 = time.Now()
-	if err := s.runSweepsSupervised(ctx, opts, filter, ckpt, done); err != nil {
+	t0 := time.Now()
+	if err := s.runSweepsSupervised(ctx, opts, ckpt, done); err != nil {
 		return nil, err
 	}
 	stage("sweep", t0)
 
 	t0 = time.Now()
-	pipeOpts := []core.Option{
-		core.WithConfig(cfg.Pipeline),
-		core.WithAggregator(s.Agg),
-		core.WithCensus(s.World.Census),
-		core.WithTopology(s.World.Topo),
-		core.WithOpenResolvers(s.World.OpenRes),
-		// Reuse the measurement engine's per-domain NSSet keys so the
-		// join index build skips recomputing them from the DB.
-		core.WithDomainNSSets(s.Engine.DomainNSSets()),
-		core.WithMetrics(s.Metrics),
-	}
-	if opts.indexCacheSize != 0 {
-		pipeOpts = append(pipeOpts, core.WithDayCacheSize(opts.indexCacheSize))
-	}
-	if opts.shardBits != 0 {
-		pipeOpts = append(pipeOpts, core.WithShardBits(opts.shardBits))
-	}
-	if opts.legacyJoin {
-		pipeOpts = append(pipeOpts, core.WithLegacyJoin())
-	}
-	s.Pipeline = core.NewPipeline(s.World.DB, pipeOpts...)
-	if q := s.Report.QuarantinedDays(); len(q) > 0 {
-		s.Pipeline.SetQuarantinedDays(q)
-	}
+	s.Pipeline = sess.NewPipeline(s.Agg, s.Report.QuarantinedDays(), s.Metrics, opts.pipelineOptions()...)
 	if !opts.skipJoin {
 		s.Classified = s.Pipeline.Classify(s.Attacks)
 		var err error
@@ -366,7 +333,7 @@ func (m sweepMetrics) observe(rec openintel.Record) {
 // merged — in whatever order shards complete, which is safe because the
 // merge is commutative. Days already restored from checkpoints (done)
 // are not re-run.
-func (s *Study) runSweepsSupervised(ctx context.Context, opts options, filter func(clock.Window) bool, ckpt *checkpoint.Dir, done map[clock.Day]bool) error {
+func (s *Study) runSweepsSupervised(ctx context.Context, opts options, ckpt *checkpoint.Dir, done map[clock.Day]bool) error {
 	from, to := s.Config.FromDay, s.Config.ToDay
 	if to < from {
 		return nil
@@ -416,7 +383,7 @@ dispatch:
 			defer wg.Done()
 			defer func() { <-sem }()
 			shardStart := time.Now()
-			agg, sreg, skipped := s.runDayShard(ctx, day, filter, opts)
+			agg, sreg, skipped := s.runDayShard(ctx, day, opts)
 			s.Metrics.Histogram("study.day_sweep_wall", obs.Volatile()).Observe(time.Since(shardStart))
 			mu.Lock()
 			defer mu.Unlock()
@@ -457,13 +424,13 @@ dispatch:
 // (nil, nil, nil) return means the shard was abandoned because ctx was
 // cancelled. On success the shard's private metric registry rides along
 // so the caller can merge it exactly once.
-func (s *Study) runDayShard(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts options) (*nsset.Aggregator, *obs.Registry, *SkippedDay) {
+func (s *Study) runDayShard(ctx context.Context, day clock.Day, opts options) (*nsset.Aggregator, *obs.Registry, *SkippedDay) {
 	const maxAttempts = 2
 	for attempt := 1; ; attempt++ {
 		if ctx.Err() != nil {
 			return nil, nil, nil
 		}
-		agg, sreg, sk := s.sweepDayOnce(ctx, day, filter, opts)
+		agg, sreg, sk := s.sweepDayOnce(ctx, day, opts)
 		if sk == nil {
 			return agg, sreg, nil // completed, or (nil, nil, nil) when cancelled
 		}
@@ -474,10 +441,11 @@ func (s *Study) runDayShard(ctx context.Context, day clock.Day, filter func(cloc
 	}
 }
 
-// sweepDayOnce runs a single attempt, under the watchdog when enabled.
-func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts options) (*nsset.Aggregator, *obs.Registry, *SkippedDay) {
+// sweepDayOnce runs a single attempt (Session.SweepDayAttempt), under
+// the watchdog when enabled.
+func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, opts options) (*nsset.Aggregator, *obs.Registry, *SkippedDay) {
 	if opts.shardTimeout <= 0 {
-		return s.sweepAttempt(ctx, day, filter, opts)
+		return s.session.SweepDayAttempt(ctx, day, opts.beforeDay)
 	}
 	dctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -488,7 +456,7 @@ func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clo
 	}
 	ch := make(chan result, 1)
 	go func() {
-		a, sreg, sk := s.sweepAttempt(dctx, day, filter, opts)
+		a, sreg, sk := s.session.SweepDayAttempt(dctx, day, opts.beforeDay)
 		ch <- result{a, sreg, sk}
 	}()
 	timer := time.NewTimer(opts.shardTimeout)
@@ -506,34 +474,4 @@ func (s *Study) sweepDayOnce(ctx context.Context, day clock.Day, filter func(clo
 			Reason: fmt.Sprintf("watchdog: day-shard exceeded %v", opts.shardTimeout),
 		}
 	}
-}
-
-// sweepAttempt is one isolated sweep of one day into a fresh private
-// aggregator and metric registry. Panics — in the BeforeDay hook or
-// anywhere inside the engine/resolver/data plane — are captured with
-// their stack instead of crashing the run; the half-filled registry is
-// discarded with the aggregator, keeping retries exactly-once. A
-// (nil, nil, nil) return means ctx was cancelled.
-func (s *Study) sweepAttempt(ctx context.Context, day clock.Day, filter func(clock.Window) bool, opts options) (agg *nsset.Aggregator, sreg *obs.Registry, sk *SkippedDay) {
-	defer func() {
-		if r := recover(); r != nil {
-			agg, sreg = nil, nil
-			sk = &SkippedDay{
-				Day:    day,
-				Reason: fmt.Sprintf("panic: %v", r),
-				Stack:  string(debug.Stack()),
-			}
-		}
-	}()
-	if opts.beforeDay != nil {
-		opts.beforeDay(day)
-	}
-	a := nsset.NewAggregator()
-	a.SetWindowFilter(filter)
-	reg := obs.New()
-	sm := newSweepMetrics(reg)
-	if err := s.Engine.RunDayContext(ctx, day, a, sm.observe); err != nil {
-		return nil, nil, nil
-	}
-	return a, reg, nil
 }

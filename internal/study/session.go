@@ -1,0 +1,169 @@
+package study
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/core"
+	"dnsddos/internal/nsset"
+	"dnsddos/internal/obs"
+	"dnsddos/internal/openintel"
+	"dnsddos/internal/resolver"
+	"dnsddos/internal/rsdos"
+	"dnsddos/internal/scenario"
+	"dnsddos/internal/simnet"
+	"dnsddos/internal/telescope"
+)
+
+// session.go factors the deterministic world-building half of a study run
+// out of RunContext so any process holding the same Config can rebuild
+// identical state: the generated world, attack schedule, synthesized
+// telescope observations, inferred attack feed, and the simulated data
+// plane (net, resolver, measurement engine). Everything here is a pure
+// function of the (seeded) configuration — no I/O, no wall-clock — which
+// is what makes the distributed join possible at all: a worker receives
+// only the config JSON, calls NewSession, and owns a world byte-identical
+// to the coordinator's. Measurement state (swept aggregators) is NOT part
+// of a Session; it flows between processes as nsset.Snapshot values.
+
+// Session is the deterministic per-process materialization of a study
+// configuration: everything up to — but excluding — the measurement
+// sweeps. Two Sessions built from equal Configs are interchangeable.
+type Session struct {
+	Config    Config
+	World     *scenario.World
+	Schedule  *scenario.Schedule
+	Telescope *telescope.Telescope
+	Obs       []rsdos.WindowObs
+	Attacks   []rsdos.Attack
+	Net       *simnet.Net
+	Resolver  *resolver.Resolver
+	Engine    *openintel.Engine
+
+	filter func(clock.Window) bool
+}
+
+// NewSession validates cfg and builds the deterministic run state. Stage
+// wall-times are recorded into reg (volatile; nil disables). The context
+// is checked between the generate and infer phases.
+func NewSession(ctx context.Context, cfg Config, reg *obs.Registry) (*Session, error) {
+	if err := Validate(cfg); err != nil {
+		return nil, err
+	}
+	stage := stageTimer(reg)
+	sess := &Session{Config: cfg}
+
+	t0 := time.Now()
+	sess.World = scenario.GenerateWorld(cfg.World)
+	sess.Schedule = scenario.GenerateSchedule(cfg.Attacks, sess.World)
+	sess.Telescope = telescope.NewUCSD()
+	sess.Obs = scenario.SynthesizeObs(cfg.Synth, sess.World, sess.Schedule.Sched, sess.Telescope)
+	if cfg.IncludeNoise {
+		sess.Obs = append(sess.Obs, scenario.SynthesizeNoise(cfg.Noise, sess.Telescope)...)
+	}
+	stage("generate", t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	sess.Attacks = rsdos.Infer(cfg.RSDoS, sess.Obs)
+	stage("infer", t0)
+
+	sess.Net = simnet.New(cfg.Net, sess.World.DB, sess.Schedule.Sched, sess.Schedule.Blackouts...)
+	sess.Resolver = resolver.New(cfg.Resolver, sess.World.DB, sess.Net)
+	sess.Engine = openintel.NewEngine(sess.World.DB, sess.Resolver, cfg.MeasureSeed)
+	sess.filter = sess.windowFilter()
+	return sess, nil
+}
+
+// windowFilter keeps per-window metrics only around attacks on NS-recorded
+// IPs (plus margins), bounding aggregator memory over the 17-month run.
+func (sess *Session) windowFilter() func(clock.Window) bool {
+	keep := make(map[clock.Window]struct{})
+	nsAddrs := sess.World.DB.AllNSAddrs()
+	before := int64(sess.Config.WindowMarginBefore / clock.WindowDur)
+	after := int64(sess.Config.WindowMarginAfter / clock.WindowDur)
+	for _, a := range sess.Attacks {
+		if _, ok := nsAddrs[a.Victim]; !ok {
+			continue
+		}
+		for w := a.StartWindow - clock.Window(before); w <= a.EndWindow+clock.Window(after); w++ {
+			keep[w] = struct{}{}
+		}
+	}
+	return func(w clock.Window) bool {
+		_, ok := keep[w]
+		return ok
+	}
+}
+
+// NewAggregator returns an empty aggregator wired with the session's
+// retained-window filter — the only aggregator shape whose merges and
+// snapshots are interchangeable across processes of the same config.
+func (sess *Session) NewAggregator() *nsset.Aggregator {
+	a := nsset.NewAggregator()
+	a.SetWindowFilter(sess.filter)
+	return a
+}
+
+// SweepDayAttempt is one isolated sweep of one day into a fresh private
+// aggregator and metric registry. Panics — in the beforeDay hook or
+// anywhere inside the engine/resolver/data plane — are captured with
+// their stack instead of crashing the process; the half-filled registry
+// is discarded with the aggregator, keeping retries exactly-once. A
+// (nil, nil, nil) return means ctx was cancelled. This is the unit of
+// work a distributed sweep worker executes per assignment; the supervised
+// in-process loop retries/quarantines around it identically, so a day
+// that panics remotely quarantines with the same Reason bytes as one that
+// panics locally.
+func (sess *Session) SweepDayAttempt(ctx context.Context, day clock.Day, beforeDay func(clock.Day)) (agg *nsset.Aggregator, sreg *obs.Registry, sk *SkippedDay) {
+	defer func() {
+		if r := recover(); r != nil {
+			agg, sreg = nil, nil
+			sk = &SkippedDay{
+				Day:    day,
+				Reason: fmt.Sprintf("panic: %v", r),
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	if beforeDay != nil {
+		beforeDay(day)
+	}
+	a := sess.NewAggregator()
+	reg := obs.New()
+	sm := newSweepMetrics(reg)
+	if err := sess.Engine.RunDayContext(ctx, day, a, sm.observe); err != nil {
+		return nil, nil, nil
+	}
+	return a, reg, nil
+}
+
+// NewPipeline builds the core join pipeline over agg with the session's
+// standard wiring (pipeline config, census, topology, open resolvers, the
+// engine's per-domain NSSet keys) plus any extra engine options, and
+// applies the quarantined-day fallback set. Both the in-process join and
+// every distributed join participant build their pipeline here, which is
+// what pins their emission bytes to each other.
+func (sess *Session) NewPipeline(agg *nsset.Aggregator, quarantined []clock.Day, reg *obs.Registry, extra ...core.Option) *core.Pipeline {
+	pipeOpts := []core.Option{
+		core.WithConfig(sess.Config.Pipeline),
+		core.WithAggregator(agg),
+		core.WithCensus(sess.World.Census),
+		core.WithTopology(sess.World.Topo),
+		core.WithOpenResolvers(sess.World.OpenRes),
+		// Reuse the measurement engine's per-domain NSSet keys so the
+		// join index build skips recomputing them from the DB.
+		core.WithDomainNSSets(sess.Engine.DomainNSSets()),
+		core.WithMetrics(reg),
+	}
+	pipeOpts = append(pipeOpts, extra...)
+	p := core.NewPipeline(sess.World.DB, pipeOpts...)
+	if len(quarantined) > 0 {
+		p.SetQuarantinedDays(quarantined)
+	}
+	return p
+}

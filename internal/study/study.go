@@ -108,7 +108,23 @@ type Study struct {
 	// a private one). It stays live after RunContext returns, so a
 	// -metrics-addr endpoint keeps serving final values.
 	Metrics *obs.Registry
+
+	// session is the deterministic state the run was built from
+	// (session.go); the exported World/Schedule/... fields above alias it.
+	session *Session
 }
+
+// attachSession adopts a Session's deterministic state into the study's
+// exported fields.
+func (s *Study) attachSession(sess *Session) {
+	s.session = sess
+	s.World, s.Schedule, s.Telescope = sess.World, sess.Schedule, sess.Telescope
+	s.Obs, s.Attacks = sess.Obs, sess.Attacks
+	s.Net, s.Resolver, s.Engine = sess.Net, sess.Resolver, sess.Engine
+}
+
+// Session returns the deterministic state the study was built from.
+func (s *Study) Session() *Session { return s.session }
 
 // Run executes the full study, uninterruptible and without checkpoints —
 // the historical entry point, kept as a thin wrapper over RunContext.
@@ -127,25 +143,4 @@ func Run(cfg Config) *Study {
 		panic(fmt.Sprintf("study.Run: %v", err))
 	}
 	return s
-}
-
-// windowFilter keeps per-window metrics only around attacks on NS-recorded
-// IPs (plus margins), bounding aggregator memory over the 17-month run.
-func (s *Study) windowFilter() func(clock.Window) bool {
-	keep := make(map[clock.Window]struct{})
-	nsAddrs := s.World.DB.AllNSAddrs()
-	before := int64(s.Config.WindowMarginBefore / clock.WindowDur)
-	after := int64(s.Config.WindowMarginAfter / clock.WindowDur)
-	for _, a := range s.Attacks {
-		if _, ok := nsAddrs[a.Victim]; !ok {
-			continue
-		}
-		for w := a.StartWindow - clock.Window(before); w <= a.EndWindow+clock.Window(after); w++ {
-			keep[w] = struct{}{}
-		}
-	}
-	return func(w clock.Window) bool {
-		_, ok := keep[w]
-		return ok
-	}
 }
