@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test obs stream distjoin race-gate chaos bench-throughput bench-join report
+.PHONY: build test obs stream distjoin race-gate soak chaos bench-throughput bench-join report
 
 build:
 	$(GO) build ./...
@@ -46,13 +46,20 @@ distjoin:
 		-count 1
 	$(GO) test ./internal/faultinject/ -run 'TestStream' -count 1
 
+# Overload soak: the 10x-rate replay through the admission/spill tier,
+# SIGKILLed mid-emission and resumed — flat memory, bounded lag recovery,
+# byte-identical emission. Run under the race detector; part of the gate.
+soak:
+	$(GO) test -race ./internal/stream/ -run 'TestOverloadSoak|TestOverload|TestCursorSyncBoundaryCrash' -count 1
+
 # Concurrency gate: run before merging changes to the serving path, the
 # sharded join engine (shared NS index, day-snapshot LRU, worker pool),
-# or the distributed-join control plane.
-race-gate:
+# the distributed-join control plane, or the resilience/overload tier.
+race-gate: soak
 	$(GO) vet ./... && $(GO) build ./... && \
 	$(GO) test -race ./internal/authserver/... ./internal/resolver/... ./internal/dnsload/... \
-		./internal/core/... ./internal/cache/... ./internal/stream/... ./internal/distjoin/...
+		./internal/core/... ./internal/cache/... ./internal/resilience/... \
+		./internal/stream/... ./internal/distjoin/...
 
 # Chaos gate: the fault-injection and graceful-degradation regression
 # suite under the race detector — the netem-style wrappers, the retrying

@@ -72,6 +72,8 @@ func run() (err error) {
 	minWorkers := flag.Int("min-workers", 1, "coordinator mode: hold dispatch until this many workers register")
 	heartbeat := flag.Duration("heartbeat", time.Second, "coordinator mode: fleet heartbeat interval")
 	numRanges := flag.Int("ranges", 0, "coordinator mode: join shard-range partition width (0 = default)")
+	suspectMissed := flag.Int("suspect-missed", 5, "coordinator mode: consecutive missed heartbeats before a worker is suspect (its tasks shadow-requeue)")
+	deadMissed := flag.Int("dead-missed", 10, "coordinator mode: consecutive missed heartbeats before a worker is declared dead")
 	flag.Parse()
 
 	if *resume && *ckptDir == "" {
@@ -127,6 +129,8 @@ func run() (err error) {
 			distjoin.WithMetrics(reg),
 			distjoin.WithMinWorkers(*minWorkers),
 			distjoin.WithNumRanges(*numRanges),
+			distjoin.WithSuspectAfter(*suspectMissed),
+			distjoin.WithDeadAfter(*deadMissed),
 		)
 		if err != nil {
 			return err

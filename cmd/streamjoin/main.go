@@ -14,9 +14,20 @@
 //
 // Usage:
 //
+// With -max-backlog the overload tier engages (DESIGN §3.7): closed
+// windows queue behind a bounded backlog whose depth drives the
+// degradation ladder, -spill-dir moves the backlog tail to disk past a
+// high-water mark, and -shed-policy opts in to the lossy rungs (shed
+// late packets, then sample). Offers the pipeline refuses are counted
+// and reported in the final summary, never silently swallowed.
+//
+// Usage:
+//
 //	streamjoin [-quick] [-domains N] [-attacks N] [-from-day D] [-days N]
 //	           [-lateness W] [-jitter W] [-rate F] [-seed N] [-out FILE]
 //	           [-journal DIR] [-resume] [-metrics-addr :9090]
+//	           [-max-backlog N] [-spill-dir DIR] [-high-water N]
+//	           [-shed-policy none|late|sample] [-admit-rate F] [-drain-every N]
 package main
 
 import (
@@ -64,6 +75,12 @@ func run() error {
 	journalDir := flag.String("journal", "", "journal directory: checkpoint the emission frontier per batch")
 	resume := flag.Bool("resume", false, "resume from the journal in -journal with exactly-once emission")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics.json with live stream lag/backlog/drop gauges (empty disables)")
+	maxBacklog := flag.Int("max-backlog", 0, "overload: bound on queued closed-window batches; at the bound intake pauses (0 = unbounded, tier off)")
+	spillDir := flag.String("spill-dir", "", "overload: directory for the backlog spill file (batches past -high-water go to disk)")
+	highWater := flag.Int("high-water", 64, "overload: in-memory batches kept before spilling (needs -spill-dir)")
+	shedPolicy := flag.String("shed-policy", "none", "overload shedding ladder: none, late, or sample")
+	admitRate := flag.Float64("admit-rate", 0, "overload: token-bucket admission bound in packets per second of stream time (0 = unlimited)")
+	drainEvery := flag.Int("drain-every", 0, "overload: join one queued batch every N offers (<= 1 drains fully per offer)")
 	flag.Parse()
 
 	if *resume && *journalDir == "" {
@@ -116,6 +133,24 @@ func run() error {
 		stream.WithLateness(*lateness),
 		stream.WithMetrics(reg),
 	}
+	policy, err := stream.ParseShedPolicy(*shedPolicy)
+	if err != nil {
+		return err
+	}
+	overloaded := *maxBacklog > 0 || *spillDir != "" || *admitRate > 0 || policy != stream.ShedNone
+	if overloaded {
+		ov := stream.Overload{
+			MaxBacklog: *maxBacklog,
+			SpillDir:   *spillDir,
+			Policy:     policy,
+			AdmitRate:  *admitRate,
+			DrainEvery: *drainEvery,
+		}
+		if *spillDir != "" {
+			ov.HighWater = *highWater
+		}
+		opts = append(opts, stream.WithOverload(ov))
+	}
 	if *journalDir != "" {
 		hash, err := study.ConfigHash(cfg)
 		if err != nil {
@@ -166,7 +201,7 @@ func run() error {
 		To:            (traceTo + 1).FirstWindow() - 1,
 		JitterWindows: *jitter,
 	}
-	var packets int64
+	var packets, rejected, paused int64
 	var streamErr error
 	stream.Replay(traceCfg, s.Schedule.Sched, s.Telescope, func(ts time.Time, pkt packet.Packet) bool {
 		if ctx.Err() != nil {
@@ -174,9 +209,20 @@ func run() error {
 			return false
 		}
 		packets++
-		if _, err := p.Offer(ts, pkt); err != nil {
+		ok, err := p.Offer(ts, pkt)
+		if errors.Is(err, stream.ErrBackpressure) {
+			// intake is pausing at the backlog bound; the replay has no way
+			// to slow the source, so the packet is counted and dropped —
+			// draining continues on the next offer
+			paused++
+			return true
+		}
+		if err != nil {
 			streamErr = err
 			return false
+		}
+		if !ok {
+			rejected++
 		}
 		return true
 	})
@@ -204,6 +250,12 @@ func run() error {
 	fmt.Fprintf(os.Stderr,
 		"streamjoin: %d packets streamed, %d batches, %d attacks, %d events, %d late drops (%.1fs)\n",
 		packets, sink.batches, sink.attacks, sink.events, p.LateDrops(), time.Since(start).Seconds())
+	if overloaded {
+		st := p.Overload()
+		fmt.Fprintf(os.Stderr,
+			"streamjoin: overload: %d offers rejected (%d admit-denied, %d shed late, %d sampled out, %d paused), %d batches spilled, peak backlog %d in memory\n",
+			rejected+paused, st.AdmitDenied, st.ShedLate, st.SampledOut, st.Paused, st.SpilledBatches, st.MaxMemBatches)
+	}
 	return nil
 }
 

@@ -6,7 +6,11 @@
 // key, so worker shards racing on a cold day build it exactly once.
 package cache
 
-import "sync"
+import (
+	"sync"
+
+	"dnsddos/internal/resilience"
+)
 
 // LRU is a bounded map with least-recently-used eviction and
 // single-flight population. The zero value is not usable; call NewLRU.
@@ -19,6 +23,9 @@ type LRU[K comparable, V any] struct {
 	// inflight holds the latch of every key currently being computed by
 	// GetOrCompute, so concurrent misses on the same key share one build.
 	inflight map[K]*lruCall[V]
+	// retry paces waiters that rejoin after a panicked build, so a build
+	// that panics repeatedly cannot turn its waiters into a spin storm.
+	retry *resilience.RetryBudget
 
 	hits, misses, shared int64
 }
@@ -45,6 +52,7 @@ func NewLRU[K comparable, V any](max int) *LRU[K, V] {
 		max:      max,
 		entries:  make(map[K]*lruEntry[K, V]),
 		inflight: make(map[K]*lruCall[V]),
+		retry:    resilience.NewRetryBudget(0, resilience.DefaultBase, resilience.DefaultCap, nil),
 	}
 }
 
@@ -131,8 +139,12 @@ func (l *LRU[K, V]) put(k K, v V) {
 // and released under a deferred cleanup, the panic propagates to the
 // builder's caller (where the supervised study loop quarantines it), and
 // waiters that had joined the doomed build retry — the first to re-enter
-// becomes the new builder.
+// becomes the new builder. Repeated retries after panicked builds are
+// paced by the cache's retry budget (first retry immediate, then
+// decorrelated jitter), so a persistently panicking builder cannot spin
+// its waiters.
 func (l *LRU[K, V]) GetOrCompute(k K, build func() V) (V, bool) {
+	sess := l.retry.Session()
 	for {
 		l.mu.Lock()
 		if e, ok := l.entries[k]; ok {
@@ -155,6 +167,7 @@ func (l *LRU[K, V]) GetOrCompute(k K, build func() V) (V, bool) {
 			if c.completed {
 				return c.val, false
 			}
+			sess.Wait(nil)
 			continue // the builder panicked; retry
 		}
 		l.misses++

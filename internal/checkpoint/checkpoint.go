@@ -113,13 +113,14 @@ func (d *Dir) Path() string { return d.path }
 
 func dayFile(day clock.Day) string { return fmt.Sprintf("day_%06d.ckpt", int32(day)) }
 
-// writeRecord gob-encodes v, frames it (magic, version, length, CRC-32
-// trailer) and atomically publishes it as dir/name. All checkpoint record
-// files — day snapshots, stream cursors — share this envelope.
-func (d *Dir) writeRecord(name string, v any) error {
+// EncodeFrame gob-encodes v into the standard checkpoint envelope:
+// magic, version, length-prefixed payload, CRC-32 trailer. The frame is
+// self-delimiting, so callers may concatenate frames into one file (the
+// stream backlog spill does) and decode them back with DecodeFrame.
+func EncodeFrame(v any) ([]byte, error) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
-		return fmt.Errorf("checkpoint: encoding %s: %w", name, err)
+		return nil, fmt.Errorf("checkpoint: encoding frame: %w", err)
 	}
 	var buf bytes.Buffer
 	buf.Write(magic)
@@ -131,7 +132,46 @@ func (d *Dir) writeRecord(name string, v any) error {
 	var crc [4]byte
 	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
 	buf.Write(crc[:])
-	return atomicWrite(d.path, name, buf.Bytes())
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame integrity-checks one frame produced by EncodeFrame and
+// decodes its gob payload into v. Every failure — bad magic, version
+// skew, truncation, CRC mismatch, decode error — is an error; a frame is
+// either fully trusted or refused.
+func DecodeFrame(b []byte, v any) error {
+	if len(b) < len(magic)+12+4 || !bytes.Equal(b[:len(magic)], magic) {
+		return errors.New("checkpoint: truncated or not a checkpoint frame")
+	}
+	rest := b[len(magic):]
+	ver := binary.BigEndian.Uint32(rest[0:4])
+	if ver != Version {
+		return fmt.Errorf("checkpoint: frame format version %d, this build reads %d", ver, Version)
+	}
+	plen := binary.BigEndian.Uint64(rest[4:12])
+	rest = rest[12:]
+	if uint64(len(rest)) != plen+4 {
+		return fmt.Errorf("checkpoint: truncated frame payload (%d of %d bytes)", len(rest), plen+4)
+	}
+	payload, trailer := rest[:plen], rest[plen:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(trailer); got != want {
+		return fmt.Errorf("checkpoint: frame crc mismatch (%08x != %08x)", got, want)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("checkpoint: decoding frame payload: %w", err)
+	}
+	return nil
+}
+
+// writeRecord frames v with EncodeFrame and atomically publishes it as
+// dir/name. All checkpoint record files — day snapshots, stream cursors —
+// share this envelope.
+func (d *Dir) writeRecord(name string, v any) error {
+	b, err := EncodeFrame(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding %s: %w", name, err)
+	}
+	return atomicWrite(d.path, name, b)
 }
 
 // loadRecord reads and integrity-checks dir/name, decoding its gob
@@ -236,8 +276,13 @@ func (d *Dir) LoadDays(from, to clock.Day) (map[clock.Day]nsset.Snapshot, error)
 	return out, nil
 }
 
-// atomicWrite writes data to dir/name via a synced temporary file and an
-// atomic rename.
+// atomicWrite writes data to dir/name via a synced temporary file, an
+// atomic rename, and a directory fsync. The directory sync matters for
+// the exactly-once cursor contract: rename alone makes the new name
+// visible but not durable, so a power loss after the sink accepted a
+// batch could resurface the *previous* cursor on resume and double-emit.
+// Syncing the parent directory pins the rename before the caller
+// acknowledges the record as written.
 func atomicWrite(dir, name string, data []byte) (err error) {
 	f, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
@@ -261,6 +306,14 @@ func atomicWrite(dir, name string, data []byte) (err error) {
 	}
 	if err = os.Rename(tmp, filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("checkpoint: publishing %s: %w", name, err)
+	}
+	df, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: opening %s for sync: %w", dir, err)
+	}
+	defer df.Close()
+	if err = df.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing %s: %w", dir, err)
 	}
 	return nil
 }

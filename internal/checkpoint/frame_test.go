@@ -1,0 +1,93 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+type framePayload struct {
+	Name  string
+	Vals  []int64
+	Notes map[string]string
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := framePayload{
+		Name:  "window-batch",
+		Vals:  []int64{1, 2, 3, 1 << 40},
+		Notes: map[string]string{"k": "v"},
+	}
+	b, err := EncodeFrame(&in)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	var out framePayload
+	if err := DecodeFrame(b, &out); err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if out.Name != in.Name || len(out.Vals) != len(in.Vals) || out.Notes["k"] != "v" {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	b, err := EncodeFrame(&framePayload{Name: "x"})
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want string
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)-3] }, "truncated"},
+		{"bitflip", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(magic)+12] ^= 0x40
+			return c
+		}, "crc mismatch"},
+		{"badmagic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] ^= 0xff
+			return c
+		}, "not a checkpoint frame"},
+		{"version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(magic)+3]++
+			return c
+		}, "format version"},
+		{"empty", func([]byte) []byte { return nil }, "truncated"},
+	}
+	for _, tc := range cases {
+		var out framePayload
+		err := DecodeFrame(tc.mut(b), &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFramesConcatenate(t *testing.T) {
+	// the spill file is frames laid end to end; each must decode from its
+	// own recorded extent
+	var file []byte
+	type extent struct{ off, n int }
+	var extents []extent
+	for i := 0; i < 5; i++ {
+		b, err := EncodeFrame(&framePayload{Name: "f", Vals: []int64{int64(i)}})
+		if err != nil {
+			t.Fatalf("EncodeFrame %d: %v", i, err)
+		}
+		extents = append(extents, extent{len(file), len(b)})
+		file = append(file, b...)
+	}
+	for i, e := range extents {
+		var out framePayload
+		if err := DecodeFrame(file[e.off:e.off+e.n], &out); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(out.Vals) != 1 || out.Vals[0] != int64(i) {
+			t.Fatalf("frame %d decoded %+v", i, out)
+		}
+	}
+}

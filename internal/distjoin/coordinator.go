@@ -13,6 +13,7 @@ import (
 	"dnsddos/internal/core"
 	"dnsddos/internal/nsset"
 	"dnsddos/internal/obs"
+	"dnsddos/internal/resilience"
 	"dnsddos/internal/study"
 )
 
@@ -24,11 +25,6 @@ import (
 // enough to trust.
 
 const (
-	// suspectMissed / deadMissed are heartbeat-interval multiples: a worker
-	// silent for suspectMissed intervals is suspect (its task reassigned);
-	// silent for deadMissed it is forcibly disconnected.
-	suspectMissed = 5
-	deadMissed    = 10
 	// sweepMaxAttempts mirrors the PR 3 in-process supervisor: a day-shard
 	// failure (panic or lost worker) is retried once elsewhere, then the
 	// day is quarantined.
@@ -66,14 +62,16 @@ type rangeResult struct {
 type CoordOption func(*coordOptions)
 
 type coordOptions struct {
-	addr      string
-	heartbeat time.Duration
-	ckptDir   string
-	resume    bool
-	reg       *obs.Registry
-	minWork   int
-	numRanges int
-	backoff   time.Duration
+	addr         string
+	heartbeat    time.Duration
+	ckptDir      string
+	resume       bool
+	reg          *obs.Registry
+	minWork      int
+	numRanges    int
+	backoff      time.Duration
+	suspectAfter int
+	deadAfter    int
 }
 
 // WithListenAddr sets the TCP listen address (default 127.0.0.1:0).
@@ -113,6 +111,20 @@ func WithMinWorkers(n int) CoordOption {
 	return func(o *coordOptions) { o.minWork = n }
 }
 
+// WithSuspectAfter sets how many missed heartbeat intervals mark a
+// worker suspect, reassigning its in-flight task (default 5). Must be
+// >= 1 and below the dead threshold.
+func WithSuspectAfter(n int) CoordOption {
+	return func(o *coordOptions) { o.suspectAfter = n }
+}
+
+// WithDeadAfter sets how many missed heartbeat intervals mark a worker
+// dead, forcibly disconnecting it (default 10). Must be above the
+// suspect threshold.
+func WithDeadAfter(n int) CoordOption {
+	return func(o *coordOptions) { o.deadAfter = n }
+}
+
 // WithNumRanges overrides the join partition width (default
 // min(shards, 32)); clamped to the shard count, journaled with the plan.
 func WithNumRanges(n int) CoordOption {
@@ -126,6 +138,9 @@ type Coordinator struct {
 	l    net.Listener
 	reg  *obs.Registry
 	m    fleetMetrics
+	// retry paces task requeues with decorrelated jitter — the shared
+	// policy layer, not a package-local constant.
+	retry *resilience.RetryBudget
 }
 
 // NewCoordinator validates cfg, binds the listen socket (so Addr is
@@ -135,16 +150,24 @@ func NewCoordinator(cfg study.Config, opts ...CoordOption) (*Coordinator, error)
 		return nil, err
 	}
 	o := coordOptions{
-		addr:      "127.0.0.1:0",
-		heartbeat: time.Second,
-		minWork:   1,
-		backoff:   50 * time.Millisecond,
+		addr:         "127.0.0.1:0",
+		heartbeat:    time.Second,
+		minWork:      1,
+		backoff:      resilience.DefaultBase,
+		suspectAfter: 5,
+		deadAfter:    10,
 	}
 	for _, fn := range opts {
 		fn(&o)
 	}
 	if o.resume && o.ckptDir == "" {
 		return nil, fmt.Errorf("distjoin: WithResume requires WithCheckpointDir")
+	}
+	if o.suspectAfter < 1 || o.deadAfter < 1 {
+		return nil, fmt.Errorf("distjoin: heartbeat thresholds must be >= 1 (suspect %d, dead %d)", o.suspectAfter, o.deadAfter)
+	}
+	if o.suspectAfter >= o.deadAfter {
+		return nil, fmt.Errorf("distjoin: suspect threshold %d must be below dead threshold %d", o.suspectAfter, o.deadAfter)
 	}
 	if o.reg == nil {
 		o.reg = obs.New()
@@ -153,7 +176,8 @@ func NewCoordinator(cfg study.Config, opts ...CoordOption) (*Coordinator, error)
 	if err != nil {
 		return nil, fmt.Errorf("distjoin: listening on %s: %w", o.addr, err)
 	}
-	return &Coordinator{cfg: cfg, opts: o, l: l, reg: o.reg, m: newFleetMetrics(o.reg)}, nil
+	retry := resilience.NewRetryBudget(0, o.backoff, resilience.DefaultCap, nil)
+	return &Coordinator{cfg: cfg, opts: o, l: l, reg: o.reg, m: newFleetMetrics(o.reg), retry: retry}, nil
 }
 
 // Addr returns the coordinator's bound listen address — hand it to
@@ -524,7 +548,7 @@ func (st *runState) addConn(conn net.Conn) {
 		defer close(w.wdone)
 		for m := range w.outbox {
 			// A wedged peer must not wedge the writer: bound each frame.
-			w.conn.SetWriteDeadline(time.Now().Add(time.Duration(deadMissed) * st.c.opts.heartbeat))
+			w.conn.SetWriteDeadline(time.Now().Add(time.Duration(st.c.opts.deadAfter) * st.c.opts.heartbeat))
 			if err := w.wr.send(m); err != nil {
 				st.evs <- coordEvent{w: w, err: err}
 				return
@@ -687,13 +711,15 @@ func (st *runState) resolveFailure(t *task) error {
 	return nil
 }
 
-// requeue re-enqueues a task after an exponential backoff scaled by its
-// failure count.
+// requeue re-enqueues a task after a decorrelated-jitter backoff scaled
+// by its failure count (resilience.RetryBudget.DelayFor — the task keeps
+// its own attempt counter, so the stateless form applies).
 func (st *runState) requeue(t *task) {
-	delay := st.c.opts.backoff << t.attempts
-	if delay > 2*time.Second {
-		delay = 2 * time.Second
+	attempt := t.attempts
+	if attempt < 1 {
+		attempt = 1
 	}
+	delay := st.c.retry.DelayFor(attempt)
 	time.AfterFunc(delay, func() { st.evs <- coordEvent{retry: t} })
 }
 
@@ -776,9 +802,9 @@ func (st *runState) checkLiveness() {
 		}
 		quiet := now.Sub(w.lastSeen)
 		switch {
-		case quiet > time.Duration(deadMissed)*hb:
+		case quiet > time.Duration(st.c.opts.deadAfter)*hb:
 			st.dropWorker(w, fmt.Errorf("no heartbeat for %v", quiet.Round(time.Millisecond)))
-		case quiet > time.Duration(suspectMissed)*hb && w.state == stateLive:
+		case quiet > time.Duration(st.c.opts.suspectAfter)*hb && w.state == stateLive:
 			w.state = stateSuspect
 			if t := w.inflight; t != nil {
 				// Reassign without charging an attempt: the worker may be

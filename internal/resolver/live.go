@@ -21,6 +21,7 @@ import (
 	"dnsddos/internal/dnswire"
 	"dnsddos/internal/nsset"
 	"dnsddos/internal/obs"
+	"dnsddos/internal/resilience"
 )
 
 // LiveConfig tunes the live resolver. The zero value resolves with the
@@ -34,13 +35,22 @@ type LiveConfig struct {
 	// around, the way unbound re-probes servers it has already tried.
 	// Zero means 3.
 	MaxTries int
-	// Backoff is the base delay before the second try; later tries
-	// double it (jittered ±50%) up to MaxBackoff. Zero disables
-	// backoff — retries go out immediately, as unbound does within its
-	// first burst.
+	// Backoff is the base delay before the second try; later tries grow
+	// it with decorrelated jitter (resilience.RetryBudget) up to
+	// MaxBackoff. Zero disables backoff — retries go out immediately, as
+	// unbound does within its first burst.
 	Backoff time.Duration
-	// MaxBackoff caps the exponential growth; zero means 2s.
+	// MaxBackoff caps the backoff growth; zero means 2s.
 	MaxBackoff time.Duration
+	// BreakerThreshold, when > 0, enables per-server circuit breaking
+	// (resilience.Breaker): a server that times out or errors this many
+	// times in a row is skipped in rotation until BreakerCooldown
+	// elapses, then probed half-open. A SERVFAIL answer counts as the
+	// server being up. Zero disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open server circuit refuses
+	// attempts before a probe; zero means 2s.
+	BreakerCooldown time.Duration
 	// EDNSPayload is advertised on UDP queries when nonzero.
 	EDNSPayload uint16
 	// TCPFallback retries truncated UDP answers over TCP (RFC 7766).
@@ -57,14 +67,19 @@ type LiveConfig struct {
 }
 
 // DefaultLiveConfig mirrors a conservative unbound setup, matching the
-// simulated DefaultConfig plus a short backoff between retries.
+// simulated DefaultConfig plus a short backoff between retries and a
+// per-server circuit breaker sized for DDoS conditions: a nameserver
+// that is down stops costing per-try timeouts after eight straight
+// failures.
 func DefaultLiveConfig() LiveConfig {
 	return LiveConfig{
-		PerTryTimeout: 800 * time.Millisecond,
-		MaxTries:      3,
-		Backoff:       50 * time.Millisecond,
-		MaxBackoff:    2 * time.Second,
-		TCPFallback:   true,
+		PerTryTimeout:    800 * time.Millisecond,
+		MaxTries:         3,
+		Backoff:          resilience.DefaultBase,
+		MaxBackoff:       resilience.DefaultCap,
+		TCPFallback:      true,
+		BreakerThreshold: 8,
+		BreakerCooldown:  resilience.DefaultCap,
 	}
 }
 
@@ -93,8 +108,10 @@ type LiveOutcome struct {
 // LiveResolver resolves over real sockets with retry, rotation, and
 // backoff. It is safe for concurrent use.
 type LiveResolver struct {
-	cfg LiveConfig
-	m   liveMetrics
+	cfg     LiveConfig
+	m       liveMetrics
+	budget  *resilience.RetryBudget
+	breaker *resilience.Breaker // nil when BreakerThreshold == 0
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -114,6 +131,8 @@ type liveMetrics struct {
 	ok           *obs.Counter
 	servfail     *obs.Counter
 	timeout      *obs.Counter
+	breakerOpens *obs.Counter
+	breakerSkips *obs.Counter
 	tryRTT       *obs.Histogram
 	rtt          *obs.Histogram
 }
@@ -128,6 +147,8 @@ func newLiveMetrics(reg *obs.Registry) liveMetrics {
 		ok:           reg.Counter("resolver.live.resolved_ok"),
 		servfail:     reg.Counter("resolver.live.resolved_servfail"),
 		timeout:      reg.Counter("resolver.live.resolved_timeout"),
+		breakerOpens: reg.Counter("resolver.live.breaker_opens"),
+		breakerSkips: reg.Counter("resolver.live.breaker_skips"),
 		tryRTT:       reg.Histogram("resolver.live.try_rtt"),
 		rtt:          reg.Histogram("resolver.live.rtt"),
 	}
@@ -153,7 +174,23 @@ func NewLiveResolver(cfg LiveConfig, rng *rand.Rand) *LiveResolver {
 			binary.LittleEndian.Uint64(seed[:8]),
 			binary.LittleEndian.Uint64(seed[8:])))
 	}
-	return &LiveResolver{cfg: cfg, m: newLiveMetrics(cfg.Metrics), rng: rng}
+	r := &LiveResolver{cfg: cfg, m: newLiveMetrics(cfg.Metrics), rng: rng}
+	// the budget gets a derived generator: it locks its own jitter draws,
+	// so sharing the shuffle rng would double-lock and couple the streams
+	r.budget = resilience.NewRetryBudget(cfg.MaxTries, cfg.Backoff, cfg.MaxBackoff,
+		rand.New(rand.NewPCG(rng.Uint64(), rng.Uint64())))
+	if cfg.BreakerThreshold > 0 {
+		r.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+			OnStateChange: func(_ string, _, to resilience.BreakerState) {
+				if to == resilience.BreakerOpen {
+					r.m.breakerOpens.Inc()
+				}
+			},
+		})
+	}
+	return r
 }
 
 // tryStatus classifies one attempt.
@@ -190,16 +227,15 @@ func (r *LiveResolver) Resolve(ctx context.Context, addrs []string, name string,
 	sawServFail := false
 	var last string
 	tries := 0
-	for i := 0; i < r.cfg.MaxTries; i++ {
-		if ctx.Err() != nil {
+	sess := r.budget.Session()
+	for i := 0; ; i++ {
+		// Wait charges the attempt against the shared retry budget and
+		// paces it with decorrelated jitter; false = out of tries or ctx
+		// cancelled mid-backoff.
+		if !sess.Wait(ctx) {
 			break
 		}
-		if i > 0 {
-			if !r.backoff(ctx, i) {
-				break
-			}
-		}
-		addr := order[i%len(order)]
+		addr := r.pickServer(order, i)
 		last = addr
 		tries++
 		r.m.tries.Inc()
@@ -209,6 +245,9 @@ func (r *LiveResolver) Resolve(ctx context.Context, addrs []string, name string,
 		if usedTCP {
 			r.m.tcpFallbacks.Inc()
 		}
+		// a SERVFAIL still proves the server is up: only timeouts and
+		// transport errors count against its circuit
+		r.breaker.Record(addr, st == tryOK || st == tryServFail, time.Now())
 		switch st {
 		case tryOK:
 			rtt := time.Since(start)
@@ -298,25 +337,24 @@ func classifyRCode(rc dnswire.RCode) tryStatus {
 	}
 }
 
-// backoff sleeps the jittered exponential delay before try number
-// attempt (1-based beyond the first). It returns false if the context
-// was cancelled while waiting.
-func (r *LiveResolver) backoff(ctx context.Context, attempt int) bool {
-	if r.cfg.Backoff <= 0 {
-		return ctx.Err() == nil
+// pickServer returns the rotation's server for attempt i, skipping
+// servers whose circuit is open. When every server's circuit refuses,
+// the scheduled one is probed anyway — refusing all peers forever would
+// turn a partial outage into a total one.
+func (r *LiveResolver) pickServer(order []string, i int) string {
+	if r.breaker == nil {
+		return order[i%len(order)]
 	}
-	d := r.cfg.Backoff << (attempt - 1)
-	if d > r.cfg.MaxBackoff || d <= 0 {
-		d = r.cfg.MaxBackoff
+	now := time.Now()
+	for k := 0; k < len(order); k++ {
+		cand := order[(i+k)%len(order)]
+		if r.breaker.Allow(cand, now) {
+			if k > 0 {
+				r.m.breakerSkips.Add(int64(k))
+			}
+			return cand
+		}
 	}
-	// jitter to d/2 + uniform[0, d/2): desynchronizes retry storms
-	r.mu.Lock()
-	d = d/2 + time.Duration(r.rng.Int64N(int64(d/2)+1))
-	r.mu.Unlock()
-	select {
-	case <-time.After(d):
-		return true
-	case <-ctx.Done():
-		return false
-	}
+	r.m.breakerSkips.Add(int64(len(order)))
+	return order[i%len(order)]
 }

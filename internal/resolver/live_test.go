@@ -12,6 +12,7 @@ import (
 	"dnsddos/internal/faultinject"
 	"dnsddos/internal/netx"
 	"dnsddos/internal/nsset"
+	"dnsddos/internal/obs"
 	"dnsddos/internal/resolver"
 )
 
@@ -264,5 +265,44 @@ func TestLiveResolverEmptySet(t *testing.T) {
 	out := lr.Resolve(context.Background(), nil, "victim.example", dnswire.TypeNS)
 	if out.Status != nsset.StatusServFail || out.Tries != 0 {
 		t.Fatalf("empty set: %+v, want immediate SERVFAIL", out)
+	}
+}
+
+// TestLiveResolverBreakerIsolatesDeadServer: with circuit breaking
+// enabled, a server that keeps failing is opened and skipped in
+// rotation — resolutions keep landing on the healthy server without
+// burning tries on the dead one.
+func TestLiveResolverBreakerIsolatesDeadServer(t *testing.T) {
+	healthy := startAuth(t, nil)
+	// a freshly closed port: queries fail fast with a refused error
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := pc.LocalAddr().String()
+	pc.Close()
+
+	reg := obs.New()
+	r := resolver.NewLiveResolver(resolver.LiveConfig{
+		PerTryTimeout:    300 * time.Millisecond,
+		MaxTries:         4,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute, // longer than the test: no reprobe
+		Metrics:          reg,
+	}, rand.New(rand.NewPCG(7, 7)))
+
+	for i := 0; i < 12; i++ {
+		o := r.Resolve(context.Background(), []string{healthy, dead},
+			"victim.example", dnswire.TypeNS)
+		if o.Status != nsset.StatusOK {
+			t.Fatalf("resolve %d: status %s after %d tries", i, o.Status, o.Tries)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["resolver.live.breaker_opens"]; got != 1 {
+		t.Errorf("breaker_opens = %d, want 1 (one dead server)", got)
+	}
+	if got := snap.Counters["resolver.live.breaker_skips"]; got == 0 {
+		t.Error("breaker never skipped the open server")
 	}
 }
