@@ -5,12 +5,12 @@
 
 GO ?= go
 
-.PHONY: build test obs stream distjoin race-gate soak chaos bench-throughput bench-join report
+.PHONY: build test obs stream distjoin race-gate soak chaos bench-throughput bench-join bench-smoke bench-e2e bench-e2e-update flake-sweep report
 
 build:
 	$(GO) build ./...
 
-test: build obs stream distjoin
+test: build obs stream distjoin bench-smoke
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -bench 'BenchmarkJoin' -benchtime 1x -run '^$$' .
@@ -60,6 +60,7 @@ race-gate: soak
 	$(GO) test -race ./internal/authserver/... ./internal/resolver/... ./internal/dnsload/... \
 		./internal/core/... ./internal/cache/... ./internal/resilience/... \
 		./internal/stream/... ./internal/distjoin/...
+	$(GO) test -race ./internal/e2ebench/ -run 'TestDeterminism' -count 1
 
 # Chaos gate: the fault-injection and graceful-degradation regression
 # suite under the race detector — the netem-style wrappers, the retrying
@@ -78,6 +79,30 @@ chaos:
 	$(GO) test -race ./internal/study/ \
 		-run 'TestPanicQuarantine|TestPanicRetryRecovers|TestWatchdogQuarantinesStuckShard|TestCancelAndResumeByteIdentical|TestResumeRefusesCorruptCheckpoints' \
 		-count 1 -v
+
+# End-to-end bench smoke: the sub-second deterministic mode sweep plus
+# the harness's own tests (comparator goldens, gate exit codes, the
+# live-socket drivers at seconds scale). Part of make test.
+bench-smoke:
+	$(GO) run ./cmd/bench -smoke
+	$(GO) test ./internal/e2ebench/ ./cmd/bench/ -count 1
+
+# End-to-end regression gate: a fresh live-socket mode sweep (baseline,
+# RRL, each overload policy, chaos, blackhole) against the archived
+# BENCH_e2e.json — exits 1 on >15% degradation of any mode's P99 or
+# failure rate. Re-archive intentionally with make bench-e2e-update.
+bench-e2e:
+	$(GO) run ./cmd/bench -baseline BENCH_e2e.json
+
+bench-e2e-update:
+	$(GO) run ./cmd/bench -baseline BENCH_e2e.json -update
+
+# Flakiness sweep: every package five times under the race detector.
+# Needs an explicit -timeout — the overload soak and distjoin chaos
+# suites are wall-clock heavy by design, and five repetitions overrun
+# go test's default 10m budget long before anything is actually stuck.
+flake-sweep:
+	$(GO) test -race -count=5 -timeout 40m ./internal/... ./cmd/...
 
 # Serving-engine throughput (workers=1 is the serialized baseline).
 bench-throughput:

@@ -420,14 +420,8 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	uc, err := net.ListenUDP("udp", uaddr)
+	uc, tl, err := bindPair(uaddr)
 	if err != nil {
-		return "", err
-	}
-	// bind TCP on the same port the UDP socket got
-	tl, err := net.Listen("tcp", uc.LocalAddr().String())
-	if err != nil {
-		uc.Close()
 		return "", err
 	}
 	pc := net.PacketConn(uc)
@@ -460,6 +454,29 @@ func (s *Server) Start(addr string) (string, error) {
 	s.wg.Add(1)
 	go s.serveTCP(tl, maxConns)
 	return uc.LocalAddr().String(), nil
+}
+
+// bindPair binds UDP and TCP on the same port, DNS-style. With an
+// ephemeral request (port 0) the UDP draw can land on a port whose TCP
+// side another process already holds, so the draw is retried on a
+// fresh port instead of failing the caller; a pinned port fails
+// immediately — the conflict is real there.
+func bindPair(uaddr *net.UDPAddr) (*net.UDPConn, net.Listener, error) {
+	const redraws = 16
+	for attempt := 0; ; attempt++ {
+		uc, err := net.ListenUDP("udp", uaddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		tl, err := net.Listen("tcp", uc.LocalAddr().String())
+		if err == nil {
+			return uc, tl, nil
+		}
+		uc.Close()
+		if uaddr.Port != 0 || attempt >= redraws {
+			return nil, nil, err
+		}
+	}
 }
 
 // readUDP pulls datagrams off the shared socket into the worker queue. It

@@ -113,6 +113,16 @@ type Result struct {
 // paper's second failure class next to timeouts (§6.3.1).
 func (r *Result) ServFails() int64 { return r.RCodes[dnswire.RCodeServFail] }
 
+// Latencies returns a copy of the per-answer latency samples in
+// seconds, sorted ascending — one per received answer. Callers that
+// aggregate several runs (the e2ebench round loop) merge these and
+// re-sort rather than averaging quantiles.
+func (r *Result) Latencies() []float64 {
+	out := make([]float64, len(r.latencies))
+	copy(out, r.latencies)
+	return out
+}
+
 // QPS returns the achieved answer rate (answers per wall-clock second).
 func (r *Result) QPS() float64 {
 	if r.Elapsed <= 0 {

@@ -1,0 +1,121 @@
+// compare.go is the regression gate: it holds a fresh harness report
+// against the archived baseline and fails on meaningful degradation of
+// the two enforced axes — per-mode P99 latency and failure percentage.
+// Structural problems (schema drift, a mode that vanished) are errors,
+// not regressions: a gate that silently skips what it cannot find
+// would pass exactly when it matters most. Improvements always pass;
+// noise is absorbed by a relative threshold plus small absolute floors
+// so a 2µs P99 on a quiet mode cannot fail the build by doubling.
+package e2ebench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// GateConfig tunes the regression gate.
+type GateConfig struct {
+	// ThresholdPct is the allowed relative degradation, in percent,
+	// of P99 latency and failure rate; zero means DefaultThresholdPct.
+	ThresholdPct float64
+	// MinP99Delta is the absolute P99 increase below which a relative
+	// excursion is noise, not a regression; zero means 250µs.
+	MinP99Delta time.Duration
+	// MinFailureDeltaPP is the absolute failure-percentage increase
+	// (in percentage points) below which a relative excursion passes;
+	// zero means 1.0.
+	MinFailureDeltaPP float64
+}
+
+// DefaultThresholdPct is the default allowed degradation: the X in
+// "fail on >X%" per the gating policy (DESIGN §3.8).
+const DefaultThresholdPct = 15.0
+
+func (g GateConfig) withDefaults() GateConfig {
+	if g.ThresholdPct <= 0 {
+		g.ThresholdPct = DefaultThresholdPct
+	}
+	if g.MinP99Delta <= 0 {
+		g.MinP99Delta = 250 * time.Microsecond
+	}
+	if g.MinFailureDeltaPP <= 0 {
+		g.MinFailureDeltaPP = 1.0
+	}
+	return g
+}
+
+// Regression is one gate violation, human-readable and sortable.
+type Regression struct {
+	Mode   string
+	Metric string // "p99" or "failure_pct"
+	Detail string
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("mode %s: %s regression: %s", r.Mode, r.Metric, r.Detail)
+}
+
+// Compare gates fresh against baseline. It returns the list of
+// regressions (empty = gate passes) or an error for structural
+// mismatches that make the comparison itself invalid: nil or
+// schema-mismatched reports, baselines from the other driver, or a
+// baseline mode missing from the fresh run.
+func Compare(baseline, fresh *Report, gc GateConfig) ([]Regression, error) {
+	if baseline == nil || fresh == nil {
+		return nil, errors.New("e2ebench: compare needs both a baseline and a fresh report")
+	}
+	if baseline.Schema != fresh.Schema {
+		return nil, fmt.Errorf("e2ebench: schema version mismatch: baseline v%d vs fresh v%d — re-archive the baseline with -update",
+			baseline.Schema, fresh.Schema)
+	}
+	if baseline.Schema != SchemaVersion {
+		return nil, fmt.Errorf("e2ebench: unsupported schema version %d (this build speaks v%d)",
+			baseline.Schema, SchemaVersion)
+	}
+	if baseline.Config.Deterministic != fresh.Config.Deterministic {
+		return nil, fmt.Errorf("e2ebench: driver mismatch: baseline deterministic=%v vs fresh deterministic=%v — the numbers are not comparable",
+			baseline.Config.Deterministic, fresh.Config.Deterministic)
+	}
+	gc = gc.withDefaults()
+
+	names := make([]string, 0, len(baseline.Modes))
+	for name := range baseline.Modes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regs []Regression
+	for _, name := range names {
+		base := baseline.Modes[name]
+		cur, ok := fresh.Modes[name]
+		if !ok {
+			return nil, fmt.Errorf("e2ebench: mode %q present in baseline but missing from the fresh run — a gated mode cannot silently disappear", name)
+		}
+		if cur.Sent == 0 {
+			return nil, fmt.Errorf("e2ebench: mode %q issued no queries in the fresh run", name)
+		}
+		limit := float64(base.P99NS) * (1 + gc.ThresholdPct/100)
+		if float64(cur.P99NS) > limit && cur.P99NS-base.P99NS > int64(gc.MinP99Delta) {
+			regs = append(regs, Regression{
+				Mode: name, Metric: "p99",
+				Detail: fmt.Sprintf("%s -> %s (limit %s at +%.0f%%)",
+					time.Duration(base.P99NS).Round(time.Microsecond),
+					time.Duration(cur.P99NS).Round(time.Microsecond),
+					time.Duration(limit).Round(time.Microsecond),
+					gc.ThresholdPct),
+			})
+		}
+		failLimit := base.FailurePct * (1 + gc.ThresholdPct/100)
+		if cur.FailurePct > failLimit && cur.FailurePct-base.FailurePct > gc.MinFailureDeltaPP {
+			regs = append(regs, Regression{
+				Mode: name, Metric: "failure_pct",
+				Detail: fmt.Sprintf("%.2f%% -> %.2f%% (limit %.2f%% at +%.0f%%, floor %.1fpp)",
+					base.FailurePct, cur.FailurePct, failLimit,
+					gc.ThresholdPct, gc.MinFailureDeltaPP),
+			})
+		}
+	}
+	return regs, nil
+}

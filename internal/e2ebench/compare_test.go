@@ -1,0 +1,240 @@
+// compare_test.go pins the regression gate: a golden deterministic
+// baseline (testdata/golden_smoke.json, regenerated with -update) must
+// gate-pass against a fresh seeded run, and the comparator's verdicts
+// are pinned by table tests — improvements pass, >threshold P99 or
+// failure-rate degradation fails, and structural mismatches (schema
+// drift, missing modes, driver mix-ups) error out loudly instead of
+// passing vacuously.
+package e2ebench
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// smokeReport runs the deterministic smoke configuration once.
+func smokeReport(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), Smoke())
+	if err != nil {
+		t.Fatalf("smoke run: %v", err)
+	}
+	return rep
+}
+
+// TestGoldenSmokeBaseline holds the deterministic smoke run against
+// the archived golden report: the comparator must pass it, and the
+// body bytes must match exactly — any drift in the harness model or
+// report encoding shows up here first and is adopted consciously via
+// -update, never silently.
+func TestGoldenSmokeBaseline(t *testing.T) {
+	rep := smokeReport(t)
+	body, err := rep.Body()
+	if err != nil {
+		t.Fatalf("encoding body: %v", err)
+	}
+	path := filepath.Join("testdata", "golden_smoke.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("smoke report drifted from golden file (rerun with -update if intended); got %d bytes, want %d", len(body), len(want))
+	}
+	base, err := LoadReport(path)
+	if err != nil {
+		t.Fatalf("loading golden baseline: %v", err)
+	}
+	regs, err := Compare(base, rep, GateConfig{})
+	if err != nil {
+		t.Fatalf("comparing against golden baseline: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("identical run flagged as regression: %v", regs)
+	}
+}
+
+// gateFixture builds a two-mode report with the given per-mode P99 and
+// failure values, shaped like a real run.
+func gateFixture(p99 map[string]int64, fail map[string]float64) *Report {
+	r := NewReport(Smoke().withDefaults())
+	for name, p := range p99 {
+		r.Modes[name] = ModeResult{
+			Sent: 1000, Received: 950,
+			P99NS: p, FailurePct: fail[name],
+		}
+	}
+	return r
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	ms := func(d time.Duration) int64 { return int64(d) }
+	cases := []struct {
+		name     string
+		base     *Report
+		fresh    *Report
+		wantRegs int
+		wantErr  string
+	}{
+		{
+			name:  "improvement passes",
+			base:  gateFixture(map[string]int64{"baseline": ms(10 * time.Millisecond)}, map[string]float64{"baseline": 5}),
+			fresh: gateFixture(map[string]int64{"baseline": ms(6 * time.Millisecond)}, map[string]float64{"baseline": 1}),
+		},
+		{
+			name:     "p99 regression beyond threshold fails",
+			base:     gateFixture(map[string]int64{"baseline": ms(10 * time.Millisecond)}, nil),
+			fresh:    gateFixture(map[string]int64{"baseline": ms(13 * time.Millisecond)}, nil),
+			wantRegs: 1,
+		},
+		{
+			name:  "p99 regression inside threshold passes",
+			base:  gateFixture(map[string]int64{"baseline": ms(10 * time.Millisecond)}, nil),
+			fresh: gateFixture(map[string]int64{"baseline": ms(11 * time.Millisecond)}, nil),
+		},
+		{
+			name:  "relative excursion under the absolute floor passes",
+			base:  gateFixture(map[string]int64{"baseline": ms(20 * time.Microsecond)}, nil),
+			fresh: gateFixture(map[string]int64{"baseline": ms(60 * time.Microsecond)}, nil),
+		},
+		{
+			name:     "failure-rate regression fails",
+			base:     gateFixture(map[string]int64{"chaos": ms(time.Millisecond)}, map[string]float64{"chaos": 2}),
+			fresh:    gateFixture(map[string]int64{"chaos": ms(time.Millisecond)}, map[string]float64{"chaos": 4}),
+			wantRegs: 1,
+		},
+		{
+			name:  "failure-rate bump under the floor passes",
+			base:  gateFixture(map[string]int64{"chaos": ms(time.Millisecond)}, map[string]float64{"chaos": 0.1}),
+			fresh: gateFixture(map[string]int64{"chaos": ms(time.Millisecond)}, map[string]float64{"chaos": 0.9}),
+		},
+		{
+			name: "both axes regress in two modes",
+			base: gateFixture(
+				map[string]int64{"baseline": ms(10 * time.Millisecond), "chaos": ms(50 * time.Millisecond)},
+				map[string]float64{"baseline": 0, "chaos": 5}),
+			fresh: gateFixture(
+				map[string]int64{"baseline": ms(20 * time.Millisecond), "chaos": ms(80 * time.Millisecond)},
+				map[string]float64{"baseline": 0, "chaos": 15}),
+			wantRegs: 3,
+		},
+		{
+			name:    "missing mode errors",
+			base:    gateFixture(map[string]int64{"baseline": 1, "chaos": 1}, nil),
+			fresh:   gateFixture(map[string]int64{"baseline": 1}, nil),
+			wantErr: "missing from the fresh run",
+		},
+		{
+			name: "schema mismatch errors",
+			base: func() *Report {
+				r := gateFixture(map[string]int64{"baseline": 1}, nil)
+				r.Schema = SchemaVersion + 1
+				return r
+			}(),
+			fresh:   gateFixture(map[string]int64{"baseline": 1}, nil),
+			wantErr: "schema version mismatch",
+		},
+		{
+			name: "driver mismatch errors",
+			base: func() *Report {
+				r := gateFixture(map[string]int64{"baseline": 1}, nil)
+				r.Config.Deterministic = false
+				return r
+			}(),
+			fresh:   gateFixture(map[string]int64{"baseline": 1}, nil),
+			wantErr: "driver mismatch",
+		},
+		{
+			name: "empty fresh mode errors",
+			base: gateFixture(map[string]int64{"baseline": 1}, nil),
+			fresh: func() *Report {
+				r := gateFixture(map[string]int64{"baseline": 1}, nil)
+				m := r.Modes["baseline"]
+				m.Sent = 0
+				r.Modes["baseline"] = m
+				return r
+			}(),
+			wantErr: "issued no queries",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs, err := Compare(tc.base, tc.fresh, GateConfig{})
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v (regs %v)", tc.wantErr, err, regs)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(regs) != tc.wantRegs {
+				t.Fatalf("want %d regressions, got %d: %v", tc.wantRegs, len(regs), regs)
+			}
+		})
+	}
+}
+
+// TestCompareNilReports pins the nil guard.
+func TestCompareNilReports(t *testing.T) {
+	if _, err := Compare(nil, nil, GateConfig{}); err == nil {
+		t.Fatal("comparing nil reports should error")
+	}
+}
+
+// TestUpdateRewritesDeterministically pins the -update path's
+// artifact: archiving the same deterministic run twice produces
+// byte-identical files apart from the environment header, and a
+// load-rewrite round trip reproduces the bytes exactly.
+func TestUpdateRewritesDeterministically(t *testing.T) {
+	dir := t.TempDir()
+	a, b := smokeReport(t), smokeReport(t)
+	pathA := filepath.Join(dir, "a.json")
+	pathB := filepath.Join(dir, "b.json")
+	if err := a.WriteFile(pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFile(pathB); err != nil {
+		t.Fatal(err)
+	}
+	loadedA, err := LoadReport(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedB, err := LoadReport(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyA, _ := loadedA.Body()
+	bodyB, _ := loadedB.Body()
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatal("two seeded archives disagree beyond the environment header")
+	}
+	// rewrite from the loaded form: encode→decode→encode must be stable
+	if err := loadedA.WriteFile(pathB); err != nil {
+		t.Fatal(err)
+	}
+	rawA, _ := os.ReadFile(pathA)
+	rawB, _ := os.ReadFile(pathB)
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatal("load→rewrite round trip changed the archived bytes")
+	}
+}

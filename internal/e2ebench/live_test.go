@@ -1,0 +1,121 @@
+// live_test.go exercises the real-socket driver end to end on
+// loopback: a tiny live sweep must produce a well-formed report with
+// the fleet's own metrics embedded, and the blackhole mode must show
+// the resilience.Breaker actually protecting the resolver — circuit
+// opens and rotation skips visible in the embedded registry snapshot,
+// not just a plausible latency number.
+package e2ebench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dnsddos/internal/netx"
+)
+
+// liveSmokeConfig is a seconds-scale live configuration: small enough
+// for `go test`, big enough that every mode issues real traffic.
+func liveSmokeConfig(modes ...string) Config {
+	return Config{
+		Seed:          7,
+		Modes:         modes,
+		Domains:       80,
+		Names:         8,
+		Servers:       3,
+		Rounds:        1,
+		Warmup:        0,
+		Queries:       120,
+		Concurrency:   8,
+		Timeout:       800 * time.Millisecond,
+		PerTryTimeout: 40 * time.Millisecond,
+	}
+}
+
+func TestLiveSmoke(t *testing.T) {
+	netx.NoGoroutineLeaks(t)
+	cfg := liveSmokeConfig("baseline", "rrl")
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	for _, mode := range cfg.Modes {
+		m, ok := rep.Modes[mode]
+		if !ok {
+			t.Fatalf("mode %s missing from report", mode)
+		}
+		if m.Sent != int64(cfg.Queries) {
+			t.Errorf("%s: sent %d queries, want %d", mode, m.Sent, cfg.Queries)
+		}
+		if m.Received == 0 {
+			t.Errorf("%s: no answers at all", mode)
+		}
+		if m.Received > 0 && m.P99NS <= 0 {
+			t.Errorf("%s: answers without latency quantiles", mode)
+		}
+		if len(m.Rounds) != cfg.Rounds {
+			t.Fatalf("%s: %d rounds recorded, want %d", mode, len(m.Rounds), cfg.Rounds)
+		}
+		// the embedded snapshot must carry the server side of the story:
+		// the fleet's merged authserver counters, not just client views
+		snap := m.Rounds[len(m.Rounds)-1].Metrics
+		if snap.Counters["authserver.udp_received"] == 0 {
+			t.Errorf("%s: embedded metrics missing authserver.udp_received", mode)
+		}
+		if snap.Counters["dnsload.sent"] == 0 {
+			t.Errorf("%s: embedded metrics missing dnsload.sent", mode)
+		}
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatalf("report does not encode: %v", err)
+	}
+}
+
+// TestBlackholeBreakerSkips is the resilience.Breaker + LiveResolver
+// interaction test the harness exists to make assertable: with one
+// fleet server dropping 100% of traffic, the per-server circuit must
+// open after the configured failure streak and subsequent rotations
+// must skip the dead server — both visible as resolver.live.* counters
+// in the round's embedded metrics, while resolution keeps succeeding
+// against the surviving servers.
+func TestBlackholeBreakerSkips(t *testing.T) {
+	netx.NoGoroutineLeaks(t)
+	cfg := liveSmokeConfig("blackhole")
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("blackhole run: %v", err)
+	}
+	m := rep.Modes["blackhole"]
+	if m.Received == 0 {
+		t.Fatal("no answers: the surviving servers should carry the mode")
+	}
+	snap := m.Rounds[len(m.Rounds)-1].Metrics
+	if opens := snap.Counters["resolver.live.breaker_opens"]; opens < 1 {
+		t.Errorf("breaker never opened on the blackholed server (opens=%d)", opens)
+	}
+	if skips := snap.Counters["resolver.live.breaker_skips"]; skips < 1 {
+		t.Errorf("open circuit was never skipped in rotation (skips=%d)", skips)
+	}
+	// the dead server burned at least one per-try timeout before the
+	// circuit opened; the failure shows as try_timeouts, not as end
+	// failures, because retries land on live servers
+	if snap.Counters["resolver.live.try_timeouts"] == 0 {
+		t.Error("no try-level timeouts recorded against the blackholed server")
+	}
+}
+
+// TestLiveChaosDegrades pins the attack window's direction: the chaos
+// mode's failure rate and P99 must sit above a healthy baseline run
+// of the same shape — the Eq. 1 ordering the harness reports.
+func TestLiveChaosDegrades(t *testing.T) {
+	netx.NoGoroutineLeaks(t)
+	rep, err := Run(context.Background(), liveSmokeConfig("baseline", "chaos"))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	base, chaos := rep.Modes["baseline"], rep.Modes["chaos"]
+	if chaos.P99NS <= base.P99NS {
+		t.Errorf("chaos p99 %s not above baseline %s",
+			time.Duration(chaos.P99NS), time.Duration(base.P99NS))
+	}
+}

@@ -1,0 +1,235 @@
+// sim.go is the deterministic driver behind Config.Deterministic: the
+// same orchestration, aggregation, and reporting path as live.go, with
+// the socket transport replaced by a seeded in-process model. Queries
+// still resolve through the real zone data (authserver.Zone.Answer),
+// but each query's cost and fate are pure functions of (seed, mode,
+// round, query index), and rounds join on a barrier before their
+// metrics snapshot — so the multiset of outcomes, the obs histogram
+// buckets built from it, and therefore the whole report body are
+// byte-identical across runs regardless of goroutine interleaving.
+// This is what the `make test` smoke and the comparator golden tests
+// execute: every harness code path except the kernel's sockets, in
+// well under a second, with zero tolerance for drift.
+package e2ebench
+
+import (
+	"context"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"dnsddos/internal/authserver"
+	"dnsddos/internal/dnswire"
+	"dnsddos/internal/obs"
+)
+
+// splitmix64 is the SplitMix64 finalizer — a bijective mixer good
+// enough to turn (seed, round, index) into independent draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a draw to [0,1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// simFate is one query's synthetic outcome.
+type simFate int
+
+const (
+	simOK simFate = iota
+	simTimeout
+	simServFail
+	simTruncatedOK // answered after a TC→TCP fallback
+)
+
+// simQuery models one query under a mode: a base RTT drawn log-skewed
+// from the seeded stream, then the mode's degradation applied. The
+// shapes mirror what the live driver produces — overload modes shed a
+// fixed share into their policy's failure class, the chaos window
+// taxes a loss share with a lost-try penalty, the blackholed fleet
+// pays dead-server probes until the breaker opens — so comparator
+// fixtures built from sim runs gate the same fields live runs fill.
+func simQuery(spec modeSpec, cfg Config, attack bool, draw uint64) (simFate, time.Duration) {
+	u := unit(draw)
+	shed := unit(splitmix64(draw ^ 0xa5a5))
+	// base: 150µs floor with a skewed body and a thin 5x tail
+	rtt := 150*time.Microsecond + time.Duration(u*u*float64(time.Millisecond))
+	if unit(splitmix64(draw^0x5a5a)) < 0.01 {
+		rtt *= 5
+	}
+	switch {
+	case spec.forceOverload:
+		rtt += rtt / 2 // queue wait under saturation
+		if shed < 0.20 {
+			switch spec.overload {
+			case authserver.OverloadServFail:
+				return simServFail, rtt
+			case authserver.OverloadTruncate:
+				return simTruncatedOK, 2 * rtt
+			default:
+				return simTimeout, 0
+			}
+		}
+	case spec.rrl != nil:
+		if shed < 0.15 {
+			if shed < 0.075 { // the SLIP half: TC answer, TCP retry
+				return simTruncatedOK, 2 * rtt
+			}
+			return simTimeout, 0 // rate-limited drop
+		}
+	case spec.attack != nil && attack:
+		if shed < spec.attack.Drop {
+			if unit(splitmix64(draw^0x3c3c)) < spec.attack.Drop {
+				return simTimeout, 0 // retry lost too
+			}
+			rtt += cfg.PerTryTimeout // one lost try before the retry lands
+		}
+		rtt += spec.attack.Latency + time.Duration(unit(splitmix64(draw^0xc3c3))*float64(spec.attack.Jitter))
+	case spec.blackhole:
+		// before the breaker opens, a share of early queries probe the
+		// dead server and burn one per-try timeout (handled by index in
+		// runModeSim via the breaker-warm counter, not here).
+	}
+	return simOK, rtt
+}
+
+// simBreakerWarm is how many early queries of a blackhole mode pay a
+// dead-server probe before the modeled circuit opens — the live
+// BreakerThreshold rounded up over the rotation share.
+const simBreakerWarm = 9
+
+// runModeSim runs one mode's rounds through the deterministic model.
+func runModeSim(ctx context.Context, cfg Config, spec modeSpec, names []string, zone *authserver.Zone) (ModeResult, error) {
+	h := fnv.New64a()
+	h.Write([]byte(spec.name))
+	modeBase := cfg.Seed ^ h.Sum64()
+
+	reg := obs.New()
+	m := struct {
+		sent, received, timeouts *obs.Counter
+		servfails, truncated     *obs.Counter
+		breakerSkips             *obs.Counter
+		rtt                      *obs.Histogram
+	}{
+		sent:         reg.Counter("e2ebench.sim.sent"),
+		received:     reg.Counter("e2ebench.sim.received"),
+		timeouts:     reg.Counter("e2ebench.sim.timeouts"),
+		servfails:    reg.Counter("e2ebench.sim.servfails"),
+		truncated:    reg.Counter("e2ebench.sim.truncated"),
+		breakerSkips: reg.Counter("e2ebench.sim.breaker_skips"),
+		rtt:          reg.Histogram("e2ebench.sim.rtt"),
+	}
+
+	runRound := func(r int, attack bool, measured bool) roundOutcome {
+		roundBase := splitmix64(modeBase ^ uint64(r+1)<<32)
+		type workerTally struct {
+			out  roundOutcome
+			cost time.Duration
+		}
+		tallies := make([]workerTally, cfg.Concurrency)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				t := &tallies[w]
+				// static partition: worker w owns indices w, w+C, ... —
+				// every outcome depends only on the index, never on
+				// scheduling, so the merged multiset is reproducible.
+				for i := w; i < cfg.Queries; i += cfg.Concurrency {
+					name := names[i%len(names)]
+					resp := zone.Answer(dnswire.Question{
+						Name: name, Type: dnswire.TypeNS, Class: dnswire.ClassIN,
+					})
+					fate, rtt := simQuery(spec, cfg, attack, splitmix64(roundBase^uint64(i)))
+					if resp.Header.RCode == dnswire.RCodeNXDomain {
+						fate = simServFail // corpus names all exist; belt and braces
+					}
+					if spec.blackhole {
+						if i < simBreakerWarm {
+							rtt += cfg.PerTryTimeout // probe the dead server
+						} else if i%cfg.Servers == 0 {
+							// rotation lands on the open circuit and is
+							// skipped for free; only the skip is counted
+							m.breakerSkips.Inc()
+						}
+					}
+					t.out.sent++
+					m.sent.Inc()
+					switch fate {
+					case simTimeout:
+						t.out.timeouts++
+						m.timeouts.Inc()
+						t.cost += cfg.PerTryTimeout * 3
+					case simServFail:
+						t.out.received++
+						t.out.servfails++
+						m.received.Inc()
+						m.servfails.Inc()
+						t.out.latencies = append(t.out.latencies, rtt.Seconds())
+						m.rtt.Observe(rtt)
+						t.cost += rtt
+					case simTruncatedOK:
+						t.out.received++
+						t.out.truncated++
+						m.received.Inc()
+						m.truncated.Inc()
+						t.out.latencies = append(t.out.latencies, rtt.Seconds())
+						m.rtt.Observe(rtt)
+						t.cost += rtt
+					default:
+						t.out.received++
+						m.received.Inc()
+						t.out.latencies = append(t.out.latencies, rtt.Seconds())
+						m.rtt.Observe(rtt)
+						t.cost += rtt
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var out roundOutcome
+		var cost time.Duration
+		for i := range tallies {
+			t := &tallies[i]
+			out.sent += t.out.sent
+			out.received += t.out.received
+			out.timeouts += t.out.timeouts
+			out.servfails += t.out.servfails
+			out.errs += t.out.errs
+			out.truncated += t.out.truncated
+			out.latencies = append(out.latencies, t.out.latencies...)
+			cost += t.cost
+		}
+		sort.Float64s(out.latencies)
+		// virtual wall clock: total per-query cost amortized over the
+		// worker fan-out — deterministic where a real clock cannot be.
+		out.elapsed = cost / time.Duration(cfg.Concurrency)
+		if measured {
+			out.metrics = reg.Snapshot()
+		}
+		return out
+	}
+
+	roundIdx := 0
+	for w := 0; w < cfg.Warmup; w++ {
+		if err := ctx.Err(); err != nil {
+			return ModeResult{}, err
+		}
+		runRound(roundIdx, false, false)
+		roundIdx++
+	}
+	rounds := make([]roundOutcome, 0, cfg.Rounds)
+	for r := 0; r < cfg.Rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return ModeResult{}, err
+		}
+		rounds = append(rounds, runRound(roundIdx, attackRound(r, cfg.Rounds), true))
+		roundIdx++
+	}
+	return buildModeResult(spec, rounds), nil
+}
