@@ -74,6 +74,8 @@ func run() (err error) {
 	numRanges := flag.Int("ranges", 0, "coordinator mode: join shard-range partition width (0 = default)")
 	suspectMissed := flag.Int("suspect-missed", 5, "coordinator mode: consecutive missed heartbeats before a worker is suspect (its tasks shadow-requeue)")
 	deadMissed := flag.Int("dead-missed", 10, "coordinator mode: consecutive missed heartbeats before a worker is declared dead")
+	daystoreDir := flag.String("daystore", "", "seal completed day-sweeps to columnar files in this directory and join against the mmap-backed views (out-of-core: resident memory stays flat in the world size)")
+	inMemoryDays := flag.Bool("in-memory-days", false, "keep every day snapshot on the heap (the historical path); overrides -daystore")
 	flag.Parse()
 
 	if *resume && *ckptDir == "" {
@@ -121,6 +123,9 @@ func run() (err error) {
 		if *legacyJoin || *indexCache != 0 || *shardBy != 0 || *shardTimeout != 0 {
 			return fmt.Errorf("-legacy-join, -index-cache, -shard-by and -shard-timeout do not apply in coordinator mode")
 		}
+		if *daystoreDir != "" {
+			return fmt.Errorf("-daystore does not apply in coordinator mode; pass -spool to the joinworker processes instead")
+		}
 		coord, err := distjoin.NewCoordinator(cfg,
 			distjoin.WithListenAddr(*coordAddr),
 			distjoin.WithHeartbeatInterval(*heartbeat),
@@ -151,6 +156,12 @@ func run() (err error) {
 		}
 		if *legacyJoin {
 			runOpts = append(runOpts, study.WithLegacyJoin())
+		}
+		if *daystoreDir != "" {
+			runOpts = append(runOpts, study.WithDayStoreDir(*daystoreDir))
+		}
+		if *inMemoryDays {
+			runOpts = append(runOpts, study.WithInMemoryDays())
 		}
 		var err error
 		if s, err = study.RunContext(ctx, cfg, runOpts...); err != nil {

@@ -45,6 +45,7 @@ func run() error {
 	connect := flag.String("connect", "", "coordinator address (required)")
 	name := flag.String("name", "", "worker name in fleet metrics and logs (default: worker-<pid>)")
 	metricsAddr := flag.String("metrics-addr", "", "serve this worker's /metrics.json on this address (empty disables)")
+	spoolDir := flag.String("spool", "", "spool the coordinator's day snapshots to sealed columnar files in this directory and join against the mmap-backed views (flat resident memory)")
 	flag.Parse()
 
 	if *connect == "" {
@@ -67,7 +68,11 @@ func run() error {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	w := distjoin.NewWorker(*name, distjoin.WithWorkerMetrics(reg))
+	wOpts := []distjoin.WorkerOption{distjoin.WithWorkerMetrics(reg)}
+	if *spoolDir != "" {
+		wOpts = append(wOpts, distjoin.WithSpoolDir(*spoolDir))
+	}
+	w := distjoin.NewWorker(*name, wOpts...)
 
 	// First signal drains gracefully, second aborts.
 	sigs := make(chan os.Signal, 2)

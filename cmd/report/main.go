@@ -47,6 +47,7 @@ func run() error {
 	ckptDir := flag.String("checkpoint", "", "checkpoint directory: persist each completed day-sweep")
 	resume := flag.Bool("resume", false, "resume from the checkpoints in -checkpoint instead of day 0")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics.json, /debug/vars and /debug/pprof/ on this address while the run is in flight (empty disables)")
+	daystoreDir := flag.String("daystore", "", "seal completed day-sweeps to columnar files in this directory and join against the mmap-backed views (out-of-core: resident memory stays flat in the world size)")
 	flag.Parse()
 
 	if *resume && *ckptDir == "" {
@@ -94,10 +95,15 @@ func run() error {
 	}
 
 	start := time.Now()
-	s, err := study.RunContext(ctx, cfg,
+	runOpts := []study.Option{
 		study.WithCheckpointDir(*ckptDir),
 		study.WithResume(*resume),
-		study.WithMetrics(reg))
+		study.WithMetrics(reg),
+	}
+	if *daystoreDir != "" {
+		runOpts = append(runOpts, study.WithDayStoreDir(*daystoreDir))
+	}
+	s, err := study.RunContext(ctx, cfg, runOpts...)
 	if err != nil {
 		return err
 	}

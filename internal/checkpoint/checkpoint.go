@@ -210,28 +210,55 @@ func (d *Dir) loadRecord(name string, v any) (bool, error) {
 	return true, nil
 }
 
-// WriteNamed durably records an auxiliary run-state record under the
-// given name (a bare filename ending in ".ckpt") using the same envelope
-// as day snapshots — magic, version, length-prefixed gob, CRC-32
-// trailer, atomic rename. The distributed-join coordinator journals its
-// join-shard results and plan fingerprint this way so a killed
-// coordinator resumes without re-joining completed shard ranges.
-func (d *Dir) WriteNamed(name string, v any) error {
+// Store is the single journal-record surface: every checkpoint record —
+// day snapshots, sealed-day references, stream cursors, distributed-join
+// plans and ranges — is one named, CRC-framed, atomically published gob
+// value. Dir implements it; the typed helpers (WriteDay, WriteDayRef,
+// Cursor) are conveniences layered on the same two entry points, so a
+// consumer that accepts a Store composes with any journal backend.
+type Store interface {
+	// Write durably records v under name (a bare *.ckpt filename) in the
+	// standard envelope: magic, version, length-prefixed gob, CRC-32
+	// trailer, atomic rename + directory fsync.
+	Write(name string, v any) error
+	// Load reads and integrity-checks the record. The boolean is false
+	// when no such record exists; a record that exists but fails any
+	// check (magic, version, length, CRC, decode) is an error, never
+	// silently skipped.
+	Load(name string, v any) (bool, error)
+}
+
+// Dir implements Store.
+var _ Store = (*Dir)(nil)
+
+// Write implements Store: it durably records v under the given name. The
+// distributed-join coordinator journals its join-shard results and plan
+// fingerprint this way so a killed coordinator resumes without re-joining
+// completed shard ranges.
+func (d *Dir) Write(name string, v any) error {
 	if err := validRecordName(name); err != nil {
 		return err
 	}
 	return d.writeRecord(name, v)
 }
 
-// LoadNamed reads an auxiliary record written by WriteNamed. The boolean
-// is false when no such record exists; a record that exists but fails
-// any integrity check is an error.
-func (d *Dir) LoadNamed(name string, v any) (bool, error) {
+// Load implements Store: it reads a record written by Write.
+func (d *Dir) Load(name string, v any) (bool, error) {
 	if err := validRecordName(name); err != nil {
 		return false, err
 	}
 	return d.loadRecord(name, v)
 }
+
+// WriteNamed records an auxiliary run-state record.
+//
+// Deprecated: WriteNamed is Store.Write under its historical name.
+func (d *Dir) WriteNamed(name string, v any) error { return d.Write(name, v) }
+
+// LoadNamed reads an auxiliary record written by WriteNamed.
+//
+// Deprecated: LoadNamed is Store.Load under its historical name.
+func (d *Dir) LoadNamed(name string, v any) (bool, error) { return d.Load(name, v) }
 
 // validRecordName rejects names that would escape the directory or dodge
 // the Create-time cleanup glob.
@@ -242,9 +269,11 @@ func validRecordName(name string) error {
 	return nil
 }
 
-// WriteDay durably records one completed day's snapshot.
+// WriteDay durably records one completed day's snapshot as an embedded
+// gob blob — the in-memory day path. Runs with a columnar day store
+// record a DayRef instead.
 func (d *Dir) WriteDay(day clock.Day, snap nsset.Snapshot) error {
-	return d.writeRecord(dayFile(day), &snap)
+	return d.Write(dayFile(day), &snap)
 }
 
 // LoadDay reads one day's snapshot. The boolean is false when the day
@@ -252,11 +281,62 @@ func (d *Dir) WriteDay(day clock.Day, snap nsset.Snapshot) error {
 // (magic, version, length, CRC, decode) is an error.
 func (d *Dir) LoadDay(day clock.Day) (nsset.Snapshot, bool, error) {
 	var snap nsset.Snapshot
-	ok, err := d.loadRecord(dayFile(day), &snap)
+	ok, err := d.Load(dayFile(day), &snap)
 	if err != nil {
 		return nsset.Snapshot{}, false, err
 	}
 	return snap, ok, nil
+}
+
+// DayRef points a day record at a sealed columnar day file
+// (internal/daystore) instead of embedding the snapshot as gob: the
+// journal stays O(refs) while the bulk data lives in the mmap-friendly
+// column files. The content hash pins the exact sealed bytes, so a
+// resume can refuse a swapped or rotted file with the same severity a
+// CRC-mismatched embedded blob gets.
+type DayRef struct {
+	// File is the sealed file's bare name inside the day-store directory.
+	File string
+	// SHA256 is the hex content hash of the sealed file.
+	SHA256 string
+}
+
+func dayRefFile(day clock.Day) string { return fmt.Sprintf("dayref_%06d.ckpt", int32(day)) }
+
+// WriteDayRef durably records that day's snapshot was sealed into the
+// referenced column file. Ref records are disjoint from embedded day
+// records (dayref_ vs day_ names): a run resumed under the other day
+// backend simply finds no records and re-sweeps, rather than
+// misinterpreting one representation as the other.
+func (d *Dir) WriteDayRef(day clock.Day, ref DayRef) error {
+	return d.Write(dayRefFile(day), &ref)
+}
+
+// LoadDayRef reads one day's sealed-file reference; the boolean is false
+// when the day has none.
+func (d *Dir) LoadDayRef(day clock.Day) (DayRef, bool, error) {
+	var ref DayRef
+	ok, err := d.Load(dayRefFile(day), &ref)
+	if err != nil {
+		return DayRef{}, false, err
+	}
+	return ref, ok, nil
+}
+
+// LoadDayRefs reads every recorded day reference in [from, to]. Any
+// corrupt record fails the whole load, like LoadDays.
+func (d *Dir) LoadDayRefs(from, to clock.Day) (map[clock.Day]DayRef, error) {
+	out := make(map[clock.Day]DayRef)
+	for day := from; day <= to; day++ {
+		ref, ok, err := d.LoadDayRef(day)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[day] = ref
+		}
+	}
+	return out, nil
 }
 
 // LoadDays reads every checkpointed day in [from, to]. Any corrupt day

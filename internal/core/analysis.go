@@ -545,7 +545,7 @@ type RTTSample struct {
 func (p *Pipeline) SeriesFor(k nsset.Key, from, to time.Time) []RTTSample {
 	var out []RTTSample
 	for w := clock.WindowOf(from); w < clock.WindowOf(to); w++ {
-		m := p.agg.Window(k, w)
+		m := p.days.Window(k, w)
 		if m == nil {
 			continue
 		}

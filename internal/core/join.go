@@ -41,26 +41,14 @@ import (
 	"dnsddos/internal/rsdos"
 )
 
-// daySnapshot is one day's baseline index: the day-d aggregate of every
-// NSSet measured on day d. Snapshots are keyed by *resolved* measurable
-// day (quarantine walk already applied), shared read-only across worker
-// shards, and memoized in the pipeline's LRU day cache.
-type daySnapshot struct {
-	day       clock.Day
-	baselines map[nsset.Key]*nsset.DayBaseline
-}
-
-// baseline returns the NSSet's day aggregate, or nil if it was not
-// measured that day.
-func (s *daySnapshot) baseline(k nsset.Key) *nsset.DayBaseline {
-	return s.baselines[k]
-}
-
-// snapshotFor returns the baseline snapshot of a resolved measurable day,
-// building it at most once per day across all shards (single-flight LRU).
-func (p *Pipeline) snapshotFor(d clock.Day) *daySnapshot {
-	s, _ := p.dayCache.GetOrCompute(d, func() *daySnapshot {
-		return &daySnapshot{day: d, baselines: p.agg.DayBaselines(d)}
+// snapshotFor returns the baseline view of a resolved measurable day
+// (quarantine walk already applied), obtaining it from the day store at
+// most once per day across all shards (single-flight LRU). For the
+// in-memory store that builds a map index; for a columnar store it opens
+// (and caches) the day's file-backed view.
+func (p *Pipeline) snapshotFor(d clock.Day) BaselineView {
+	s, _ := p.dayCache.GetOrCompute(d, func() BaselineView {
+		return p.days.Baselines(d)
 	})
 	return s
 }
@@ -438,12 +426,12 @@ func (p *Pipeline) joinShard(ctx context.Context, aix *AttackIndex, victims []dn
 }
 
 // buildEventIndexed is buildEvent on the indexed fast path: snap is the
-// attack's resolved §4.2 snapshot-day baseline index, Eq. 1 baselines
-// come from cached day snapshots, and window metrics from a span-clamped
-// Series view — with identical guards and float arithmetic so results
-// are byte-for-byte the legacy scan's.
-func (p *Pipeline) buildEventIndexed(ca ClassifiedAttack, snap *daySnapshot, k nsset.Key) (Event, bool) {
-	if b := snap.baseline(k); b == nil || b.OKCount == 0 {
+// attack's resolved §4.2 snapshot-day baseline view, Eq. 1 baselines
+// come from cached day views, and window metrics from a span-clamped
+// day-store series — with identical guards and float arithmetic so
+// results are byte-for-byte the legacy scan's.
+func (p *Pipeline) buildEventIndexed(ca ClassifiedAttack, snap BaselineView, k nsset.Key) (Event, bool) {
+	if b := snap.Baseline(k); b == nil || b.OKCount == 0 {
 		return Event{}, false
 	}
 	e := Event{
@@ -451,7 +439,7 @@ func (p *Pipeline) buildEventIndexed(ca ClassifiedAttack, snap *daySnapshot, k n
 		NSSet:         k,
 		HostedDomains: p.ix.DomainCount(k),
 	}
-	series := p.agg.Series(k)
+	series := p.days.Series(k)
 	back := clock.Day(p.cfg.BaselineDaysBack)
 	if back <= 0 {
 		back = 1
@@ -462,10 +450,20 @@ func (p *Pipeline) buildEventIndexed(ca ClassifiedAttack, snap *daySnapshot, k n
 	// Measurements are sparse within an attack span (each domain is swept
 	// once a day), so instead of probing every 5-minute window we walk the
 	// span day by day and visit only the windows the series actually holds
-	// (Series.DayWindows). Every accumulator below is order-independent —
-	// integer sums and maxima over the same set of windows — so the
-	// unsorted day buckets still reproduce the legacy scan's bytes.
-	from, to := series.Clamp(ca.StartWindow, ca.EndWindow)
+	// (KeySeries.DayWindows). Every accumulator below is order-independent
+	// — integer sums and maxima over the same set of windows — so the
+	// day buckets reproduce the legacy scan's bytes. The span clamp is a
+	// pure pruning step (the pruned windows hold no metrics); backends
+	// without span tracking report ok false and the raw attack span walks.
+	from, to := ca.StartWindow, ca.EndWindow
+	if mn, mx, ok := series.Span(); ok {
+		if from < mn {
+			from = mn
+		}
+		if to > mx {
+			to = mx
+		}
+	}
 	for d := from.Day(); d <= to.Day(); d++ {
 		// Hoist the Eq. 1 denominator out of the window loop: it is a
 		// per-day quantity, computed lazily on the day's first OK window.
@@ -489,7 +487,7 @@ func (p *Pipeline) buildEventIndexed(ca ClassifiedAttack, snap *daySnapshot, k n
 			}
 			if !baseDone {
 				baseDone = true
-				if b := p.snapshotFor(p.measurableDay(d - back)).baseline(k); b != nil && b.OKCount > 0 {
+				if b := p.snapshotFor(p.measurableDay(d - back)).Baseline(k); b != nil && b.OKCount > 0 {
 					if rtt := b.AvgRTT(); rtt > 0 {
 						baseRTT = rtt
 						baseOK = true

@@ -135,6 +135,14 @@ type Pipeline struct {
 	topo    *astopo.Table
 	openRes *openres.List
 
+	// days is the day-snapshot surface both join engines read
+	// (daystore.go): the aggregator-backed in-memory store by default, or
+	// a columnar file-backed store attached via WithDayStore.
+	days DayStore
+	// inMemoryDays forces the aggregator-backed store even when a
+	// WithDayStore backend was supplied — the parity-testing escape hatch.
+	inMemoryDays bool
+
 	// ix is the immutable nameserver-side join index (index.go), built at
 	// construction unless an existing one is shared in via WithNSIndex.
 	ix *NSIndex
@@ -149,10 +157,11 @@ type Pipeline struct {
 	// shardBits is the victim-prefix width shards are keyed by (default
 	// 16, i.e. one shard per victim /16).
 	shardBits int
-	// dayCache memoizes per-day baseline snapshots across events and
-	// across EventsContext calls (resumed/checkpointed runs revisit the
-	// same days).
-	dayCache *cache.LRU[clock.Day, *daySnapshot]
+	// dayCache memoizes per-day baseline views across events and across
+	// EventsContext calls (resumed/checkpointed runs revisit the same
+	// days). For file-backed stores it holds lazily opened views, not
+	// rebuilt structs.
+	dayCache *cache.LRU[clock.Day, BaselineView]
 	// joinIdx memoizes the last feed's attack index and shard plan
 	// (join.go): repeat joins over the same feed slice skip the feed scan
 	// entirely and go straight to the shard workers.
@@ -199,6 +208,23 @@ func WithOpenResolvers(l *openres.List) Option {
 	return func(p *Pipeline) { p.openRes = l }
 }
 
+// WithDayStore attaches the day-snapshot backend the join engines read —
+// typically a columnar file-backed store (internal/daystore.Set) whose
+// sealed per-day files were written by the sweep, so the join maps views
+// instead of holding every day's structs in RAM. The default (nil) serves
+// days from the live aggregator. Both backends are observation-equivalent
+// and produce byte-identical events (TestJoinParityColumnar).
+func WithDayStore(ds DayStore) Option {
+	return func(p *Pipeline) { p.days = ds }
+}
+
+// WithInMemoryDays forces the aggregator-backed in-memory day store even
+// when a WithDayStore backend is also configured — the parity-testing
+// escape hatch, mirroring WithLegacyJoin.
+func WithInMemoryDays() Option {
+	return func(p *Pipeline) { p.inMemoryDays = true }
+}
+
 // WithLegacyJoin selects the historical linear-scan join engine instead
 // of the interval-indexed sharded engine — the escape hatch (and the
 // reference implementation parity tests compare against).
@@ -224,7 +250,7 @@ func WithShardBits(bits int) Option {
 func WithDayCacheSize(n int) Option {
 	return func(p *Pipeline) {
 		if n != 0 {
-			p.dayCache = cache.NewLRU[clock.Day, *daySnapshot](max(n, 0))
+			p.dayCache = cache.NewLRU[clock.Day, BaselineView](max(n, 0))
 		}
 	}
 }
@@ -281,11 +307,14 @@ func NewPipeline(db *dnsdb.DB, opts ...Option) *Pipeline {
 	if p.agg == nil {
 		p.agg = nsset.NewAggregator()
 	}
+	if p.days == nil || p.inMemoryDays {
+		p.days = NewAggregatorDayStore(p.agg)
+	}
 	if p.ix == nil {
 		p.ix = BuildNSIndex(db, p.domainNSSets)
 	}
 	if p.dayCache == nil {
-		p.dayCache = cache.NewLRU[clock.Day, *daySnapshot](defaultDayCacheSize)
+		p.dayCache = cache.NewLRU[clock.Day, BaselineView](defaultDayCacheSize)
 	}
 	if p.shardBits <= 0 {
 		p.shardBits = 16
@@ -451,7 +480,7 @@ func (p *Pipeline) buildEvent(ca ClassifiedAttack, k nsset.Key) (Event, bool) {
 		snapDay = snapDay.Prev()
 	}
 	snapDay = p.measurableDay(snapDay)
-	if b := p.agg.Baseline(k, snapDay); b == nil || b.OKCount == 0 {
+	if b := p.days.Baseline(k, snapDay); b == nil || b.OKCount == 0 {
 		return Event{}, false
 	}
 	e := Event{
@@ -463,7 +492,7 @@ func (p *Pipeline) buildEvent(ca ClassifiedAttack, k nsset.Key) (Event, bool) {
 	hasImpact := false
 	worstFail := 0.0
 	for w := ca.StartWindow; w <= ca.EndWindow; w++ {
-		m := p.agg.Window(k, w)
+		m := p.days.Window(k, w)
 		if m == nil {
 			continue
 		}
@@ -489,13 +518,26 @@ func (p *Pipeline) buildEvent(ca ClassifiedAttack, k nsset.Key) (Event, bool) {
 	return e, true
 }
 
-// impactAt applies the configured Eq. 1 baseline rule.
+// impactAt applies the configured Eq. 1 baseline rule — the same guards
+// and float arithmetic as nsset.ImpactVsDay, read through the day store.
 func (p *Pipeline) impactAt(k nsset.Key, w clock.Window) (float64, bool) {
 	back := p.cfg.BaselineDaysBack
 	if back <= 0 {
 		back = 1
 	}
-	return p.agg.ImpactVsDay(k, w, p.measurableDay(w.Day()-clock.Day(back)))
+	m := p.days.Window(k, w)
+	if m == nil || m.OKCount == 0 {
+		return 0, false
+	}
+	b := p.days.Baseline(k, p.measurableDay(w.Day()-clock.Day(back)))
+	if b == nil || b.OKCount == 0 {
+		return 0, false
+	}
+	base := b.AvgRTT()
+	if base <= 0 {
+		return 0, false
+	}
+	return float64(m.AvgRTT()) / float64(base), true
 }
 
 // enrich fills diversity, anycast, AS and provider metadata.
@@ -546,7 +588,16 @@ func (p *Pipeline) Config() Config { return p.cfg }
 func (p *Pipeline) DB() *dnsdb.DB { return p.db }
 
 // Aggregator returns the measurement aggregator.
+//
+// Deprecated: day-level reads belong on DayStore — the aggregator is not
+// the day surface the join consumes (a columnar-backed pipeline may hold
+// an empty aggregator), and reaching past the store breaks backend parity.
 func (p *Pipeline) Aggregator() *nsset.Aggregator { return p.agg }
+
+// DayStore returns the day-snapshot surface the join engines read: the
+// aggregator-backed in-memory store by default, or the WithDayStore
+// backend.
+func (p *Pipeline) DayStore() DayStore { return p.days }
 
 // NSIndex returns the pipeline's immutable nameserver-side join index,
 // shareable across pipelines via WithNSIndex.

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package daystore
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile falls back to reading the whole file on platforms without
+// mmap support; views still behave identically, just without the
+// demand-paged residency.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package daystore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. The returned release closure unmaps;
+// the file descriptor itself can be closed immediately after mapping.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -1,0 +1,307 @@
+package daystore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dnsddos/internal/clock"
+	"dnsddos/internal/nsset"
+)
+
+// writer.go seals nsset snapshots into immutable per-day column files.
+// SealDay is the unit the supervised study loop calls per completed
+// day-shard; Build splits an arbitrary multi-day snapshot (the distjoin
+// worker's spool path). Both publish files with the checkpoint journal's
+// atomic-write discipline — temp file, fsync, rename, parent-directory
+// fsync — so a visible day file is always complete, and both return the
+// content hash that checkpoint.DayRef records pin.
+
+// SealedFile identifies one published day file by name and content hash.
+// The hash is over the exact file bytes; checkpoint day references store
+// it so resume can refuse a swapped or rotted file.
+type SealedFile struct {
+	Day    clock.Day
+	Name   string
+	SHA256 string
+}
+
+// keyRows is one NSSet's contribution to a day file.
+type keyRows struct {
+	key  nsset.Key
+	base *nsset.DayBaseline
+	wins []nsset.WindowMetrics
+}
+
+// SealDay encodes the snapshot as day's column file and atomically
+// publishes it in dir (creating dir if needed), replacing any previous
+// seal of the same day. Every snapshot row must belong to day — a window
+// of another day or a foreign-day baseline is an error, as is a duplicate
+// (key, window) or (key, day) row: the seal input is one completed
+// day-shard, and silently merging or dropping rows here could diverge
+// from the in-memory path. An empty snapshot seals a valid empty file.
+func SealDay(dir string, day clock.Day, snap nsset.Snapshot) (SealedFile, error) {
+	rows, err := collectDay(day, snap)
+	if err != nil {
+		return SealedFile{}, err
+	}
+	return sealRows(dir, day, rows)
+}
+
+// Build splits a snapshot by calendar day and seals one file per day,
+// returning the refs in ascending day order. Days already sealed in dir
+// are replaced.
+func Build(dir string, snap nsset.Snapshot) ([]SealedFile, error) {
+	byDay := make(map[clock.Day]*nsset.Snapshot)
+	sub := func(d clock.Day) *nsset.Snapshot {
+		s := byDay[d]
+		if s == nil {
+			s = &nsset.Snapshot{}
+			byDay[d] = s
+		}
+		return s
+	}
+	for _, ws := range snap.Windows {
+		s := sub(ws.M.Window.Day())
+		s.Windows = append(s.Windows, ws)
+	}
+	for _, bs := range snap.Baselines {
+		s := sub(bs.B.Day)
+		s.Baselines = append(s.Baselines, bs)
+	}
+	days := make([]clock.Day, 0, len(byDay))
+	for d := range byDay {
+		days = append(days, d)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+	out := make([]SealedFile, 0, len(days))
+	for _, d := range days {
+		ref, err := SealDay(dir, d, *byDay[d])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ref)
+	}
+	return out, nil
+}
+
+// collectDay groups the snapshot's rows per key, validating that every
+// row belongs to day and that no (key, window) or baseline repeats.
+func collectDay(day clock.Day, snap nsset.Snapshot) ([]keyRows, error) {
+	byKey := make(map[nsset.Key]*keyRows)
+	order := make([]nsset.Key, 0)
+	get := func(k nsset.Key) *keyRows {
+		r := byKey[k]
+		if r == nil {
+			r = &keyRows{key: k}
+			byKey[k] = r
+			order = append(order, k)
+		}
+		return r
+	}
+	for i := range snap.Windows {
+		ws := &snap.Windows[i]
+		if d := ws.M.Window.Day(); d != day {
+			return nil, fmt.Errorf("daystore: sealing day %d: window %d belongs to day %d", int32(day), int64(ws.M.Window), int32(d))
+		}
+		get(ws.Key).wins = append(byKey[ws.Key].wins, ws.M)
+	}
+	for i := range snap.Baselines {
+		bs := &snap.Baselines[i]
+		if bs.B.Day != day {
+			return nil, fmt.Errorf("daystore: sealing day %d: baseline belongs to day %d", int32(day), int32(bs.B.Day))
+		}
+		r := get(bs.Key)
+		if r.base != nil {
+			return nil, fmt.Errorf("daystore: sealing day %d: duplicate baseline for key %s", int32(day), bs.Key)
+		}
+		b := bs.B
+		r.base = &b
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	rows := make([]keyRows, 0, len(order))
+	for _, k := range order {
+		r := byKey[k]
+		sort.Slice(r.wins, func(i, j int) bool { return r.wins[i].Window < r.wins[j].Window })
+		for i := 1; i < len(r.wins); i++ {
+			if r.wins[i].Window == r.wins[i-1].Window {
+				return nil, fmt.Errorf("daystore: sealing day %d: duplicate window %d for key %s", int32(day), int64(r.wins[i].Window), k)
+			}
+		}
+		rows = append(rows, *r)
+	}
+	return rows, nil
+}
+
+// sealRows encodes and atomically publishes one day file.
+func sealRows(dir string, day clock.Day, rows []keyRows) (SealedFile, error) {
+	data := encodeDay(day, rows)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return SealedFile{}, fmt.Errorf("daystore: creating %s: %w", dir, err)
+	}
+	name := FileName(day)
+	if err := atomicWrite(dir, name, data); err != nil {
+		return SealedFile{}, err
+	}
+	sum := sha256.Sum256(data)
+	return SealedFile{Day: day, Name: name, SHA256: hex.EncodeToString(sum[:])}, nil
+}
+
+// encodeDay lays the rows out in the package's column format.
+func encodeDay(day clock.Day, rows []keyRows) []byte {
+	nKeys, nBase, nWin, strLen := len(rows), 0, 0, 0
+	for i := range rows {
+		if rows[i].base != nil {
+			nBase++
+		}
+		nWin += len(rows[i].wins)
+		strLen += len(rows[i].key)
+	}
+	size := headerLen + nKeys*keyRowLen + strLen + nBase*baseRowLen + nWin*winRowLen + trailerLen
+	buf := make([]byte, size)
+
+	// header
+	copy(buf[0:8], magic)
+	binary.BigEndian.PutUint32(buf[8:12], Version)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(int32(day)))
+	binary.BigEndian.PutUint32(buf[16:20], uint32(nKeys))
+	binary.BigEndian.PutUint32(buf[20:24], uint32(nBase))
+	binary.BigEndian.PutUint32(buf[24:28], uint32(nWin))
+	binary.BigEndian.PutUint64(buf[28:36], uint64(strLen))
+	binary.BigEndian.PutUint32(buf[36:40], crc32.ChecksumIEEE(buf[0:36]))
+
+	keyTab := buf[headerLen:]
+	strTab := keyTab[nKeys*keyRowLen:][:strLen]
+	baseCol := keyTab[nKeys*keyRowLen+strLen:]
+	winCol := baseCol[nBase*baseRowLen:]
+
+	strOff, baseRow, winRow := 0, 0, 0
+	for i := range rows {
+		r := &rows[i]
+		kt := keyTab[i*keyRowLen:]
+		binary.BigEndian.PutUint64(kt[0:8], uint64(strOff))
+		binary.BigEndian.PutUint32(kt[8:12], uint32(len(r.key)))
+		copy(strTab[strOff:], r.key)
+		strOff += len(r.key)
+		if r.base != nil {
+			binary.BigEndian.PutUint32(kt[12:16], uint32(baseRow))
+			bc := baseCol[baseRow*baseRowLen:]
+			binary.BigEndian.PutUint64(bc[0:8], uint64(int64(r.base.OKCount)))
+			binary.BigEndian.PutUint64(bc[8:16], uint64(int64(r.base.SumRTT)))
+			binary.BigEndian.PutUint64(bc[16:24], uint64(int64(r.base.Domains)))
+			baseRow++
+		} else {
+			binary.BigEndian.PutUint32(kt[12:16], noBaseline)
+		}
+		binary.BigEndian.PutUint32(kt[16:20], uint32(winRow))
+		binary.BigEndian.PutUint32(kt[20:24], uint32(len(r.wins)))
+		for wi := range r.wins {
+			m := &r.wins[wi]
+			wc := winCol[(winRow+wi)*winRowLen:]
+			binary.BigEndian.PutUint64(wc[0:8], uint64(int64(m.Window)))
+			binary.BigEndian.PutUint64(wc[8:16], uint64(int64(m.Domains)))
+			binary.BigEndian.PutUint64(wc[16:24], uint64(int64(m.OKCount)))
+			binary.BigEndian.PutUint64(wc[24:32], uint64(int64(m.Timeouts)))
+			binary.BigEndian.PutUint64(wc[32:40], uint64(int64(m.ServFails)))
+			binary.BigEndian.PutUint64(wc[40:48], uint64(int64(m.SumRTT)))
+			binary.BigEndian.PutUint64(wc[48:56], uint64(int64(m.MinRTT)))
+			binary.BigEndian.PutUint64(wc[56:64], uint64(int64(m.MaxRTT)))
+		}
+		winRow += len(r.wins)
+	}
+	binary.BigEndian.PutUint32(buf[size-trailerLen:], crc32.ChecksumIEEE(buf[headerLen:size-trailerLen]))
+	return buf
+}
+
+// Clear removes every sealed day file and seal leftover (*.tmp-*) from
+// dir, preparing it for a fresh run. A missing directory is not an error.
+func Clear(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("daystore: scanning %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		_, sealed := parseFileName(name)
+		if !sealed && !isTempLeftover(name) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("daystore: clearing %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// isTempLeftover recognizes an unpublished atomicWrite temp file
+// (day_NNNNNN.dcol.tmp-XXXX).
+func isTempLeftover(name string) bool {
+	return strings.HasPrefix(name, filePrefix) && strings.Contains(name, fileSuffix+".tmp-")
+}
+
+// VerifyFile re-reads dir/name and checks its content hash against
+// wantSHA256 (a checkpoint.DayRef). A mismatch — the file was swapped,
+// rotted, or half-replaced — is a typed ErrCorrupt refusal; a missing
+// file is an os.ErrNotExist-wrapping error.
+func VerifyFile(dir, name, wantSHA256 string) error {
+	full := filepath.Join(dir, name)
+	b, err := os.ReadFile(full)
+	if err != nil {
+		return fmt.Errorf("daystore: reading %s: %w", full, err)
+	}
+	sum := sha256.Sum256(b)
+	if got := hex.EncodeToString(sum[:]); got != wantSHA256 {
+		return corruptf(full, "content hash %s does not match recorded %s", got, wantSHA256)
+	}
+	return nil
+}
+
+// atomicWrite publishes data as dir/name with the checkpoint journal's
+// durability discipline: synced temp file, atomic rename, parent-
+// directory fsync. The directory sync pins the rename before the caller
+// records the file as sealed (a checkpoint day reference must never name
+// a file a power loss can un-publish).
+func atomicWrite(dir, name string, data []byte) (err error) {
+	f, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("daystore: creating temp for %s: %w", name, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return fmt.Errorf("daystore: writing %s: %w", name, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("daystore: syncing %s: %w", name, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("daystore: closing %s: %w", name, err)
+	}
+	if err = os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("daystore: publishing %s: %w", name, err)
+	}
+	df, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("daystore: opening %s for sync: %w", dir, err)
+	}
+	defer df.Close()
+	if err = df.Sync(); err != nil {
+		return fmt.Errorf("daystore: syncing %s: %w", dir, err)
+	}
+	return nil
+}

@@ -379,13 +379,13 @@ func (st *runState) openJournal() error {
 		st.daySnaps[d] = snap
 	}
 	st.resumed = len(snaps)
-	if ok, err := st.ckpt.LoadNamed(planRecord, &st.plan); err != nil {
+	if ok, err := st.ckpt.Load(planRecord, &st.plan); err != nil {
 		return err
 	} else if ok {
 		st.loadedPlan = true
 		for i := 0; i < st.plan.NumRanges; i++ {
 			var rr rangeResult
-			if ok, err := st.ckpt.LoadNamed(rangeRecord(i), &rr); err != nil {
+			if ok, err := st.ckpt.Load(rangeRecord(i), &rr); err != nil {
 				return err
 			} else if ok {
 				st.ranges[i] = rr.Events
@@ -459,7 +459,7 @@ func (st *runState) startJoin(ctx context.Context) error {
 		}
 		st.plan = joinPlan{NumShards: numShards, NumRanges: nr}
 		if st.ckpt != nil {
-			if err := st.ckpt.WriteNamed(planRecord, &st.plan); err != nil {
+			if err := st.ckpt.Write(planRecord, &st.plan); err != nil {
 				return err
 			}
 		}
@@ -669,7 +669,7 @@ func (st *runState) handle(w *fleetWorker, m *message) error {
 			return nil
 		}
 		if st.ckpt != nil {
-			if err := st.ckpt.WriteNamed(rangeRecord(m.Range), &rangeResult{Events: m.Events}); err != nil {
+			if err := st.ckpt.Write(rangeRecord(m.Range), &rangeResult{Events: m.Events}); err != nil {
 				return fmt.Errorf("distjoin: journaling range %d: %w", m.Range, err)
 			}
 		}

@@ -1,0 +1,38 @@
+package distjoin
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// spool_test.go covers the worker's out-of-core join path: WithSpoolDir
+// makes a worker seal the coordinator's day snapshots to columnar files
+// at join setup and run its shard joins against the mmap-backed views.
+// The contract is the usual one — byte-identical events and report to
+// the single-process run — plus the spool actually being used.
+
+func TestSpoolWorkerParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	wantEvents, wantReport := plainBaseline(t)
+
+	spool := t.TempDir()
+	// a single spooling worker handles every sweep and every join range,
+	// so the whole distributed join provably went through the sealed files
+	workers := []*Worker{NewWorker("columnar", WithSpoolDir(spool))}
+	s, _, _, err := runFleet(t, context.Background(), testConfig(), nil, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, s, wantEvents, wantReport)
+
+	files, err := filepath.Glob(filepath.Join(spool, "day_*.dcol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("spooling worker sealed no day files; it silently joined in memory")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"dnsddos/internal/clock"
 	"dnsddos/internal/core"
+	"dnsddos/internal/daystore"
 	"dnsddos/internal/obs"
 	"dnsddos/internal/study"
 )
@@ -26,6 +27,7 @@ type Worker struct {
 	dial        func(ctx context.Context, addr string) (net.Conn, error)
 	beforeSweep func(clock.Day)
 	reg         *obs.Registry
+	spoolDir    string
 
 	drainOnce sync.Once
 	drainCh   chan struct{}
@@ -53,6 +55,17 @@ func WithBeforeSweep(f func(clock.Day)) WorkerOption {
 // travel to the coordinator regardless.
 func WithWorkerMetrics(reg *obs.Registry) WorkerOption {
 	return func(w *Worker) { w.reg = reg }
+}
+
+// WithSpoolDir makes the worker spool the coordinator's day snapshots to
+// sealed column files in dir at join setup and run its shard joins
+// against the mmap-backed daystore.Set instead of a merged in-memory
+// aggregator. The worker's resident footprint then stays flat in the
+// world size: the kernel pages day columns in on demand and reclaims
+// them under pressure. The directory is cleared of stale sealed files on
+// every setup, so one dir per worker process is safe across runs.
+func WithSpoolDir(dir string) WorkerOption {
+	return func(w *Worker) { w.spoolDir = dir }
 }
 
 // NewWorker builds a worker. The name identifies it in fleet metrics
@@ -233,7 +246,25 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 				for _, sn := range ev.m.Snaps {
 					agg.AddSnapshot(sn)
 				}
-				pipe = sess.NewPipeline(agg, ev.m.Quarantined, w.reg)
+				var extra []core.Option
+				if w.spoolDir != "" {
+					// Spool the merged world to sealed column files and
+					// join against the mmap views; the merged aggregator
+					// is garbage once sealed, so the join's working set
+					// is paged in from disk instead of held on heap.
+					if err := daystore.Clear(w.spoolDir); err != nil {
+						return fmt.Errorf("distjoin: worker %s: clearing spool: %w", w.name, err)
+					}
+					if _, err := daystore.Build(w.spoolDir, agg.Snapshot()); err != nil {
+						return fmt.Errorf("distjoin: worker %s: spooling days: %w", w.name, err)
+					}
+					set, err := daystore.Open(w.spoolDir)
+					if err != nil {
+						return fmt.Errorf("distjoin: worker %s: opening spool: %w", w.name, err)
+					}
+					extra = append(extra, core.WithDayStore(set))
+				}
+				pipe = sess.NewPipeline(agg, ev.m.Quarantined, w.reg, extra...)
 				numShards, numRanges = ev.m.NumShards, ev.m.NumRanges
 				if got := pipe.JoinShardCount(sess.Attacks); got != numShards {
 					// The worker's deterministic plan disagrees with the

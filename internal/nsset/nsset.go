@@ -415,6 +415,11 @@ func (s Series) At(w clock.Window) *WindowMetrics { return s.m[w] }
 // Len returns the number of measured windows in the series.
 func (s Series) Len() int { return len(s.m) }
 
+// Span returns the series' inclusive retained-window range. An NSSet
+// with no retained windows returns min > max (the empty span), matching
+// Clamp's empty-intersection convention.
+func (s Series) Span() (min, max clock.Window) { return s.span.min, s.span.max }
+
 // Clamp intersects [from, to] with the series' retained-window span. A
 // probe loop over the clamped range visits every window that can have
 // metrics; an empty intersection returns from > to.
@@ -459,6 +464,23 @@ func (a *Aggregator) Keys() []Key {
 	out := make([]Key, 0, len(a.windows))
 	for k := range a.windows {
 		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Days returns every day with any baseline measurements, in ascending
+// order.
+func (a *Aggregator) Days() []clock.Day {
+	seen := make(map[clock.Day]struct{})
+	for _, bm := range a.baselines {
+		for d := range bm {
+			seen[d] = struct{}{}
+		}
+	}
+	out := make([]clock.Day, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

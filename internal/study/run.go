@@ -15,6 +15,7 @@ import (
 	"dnsddos/internal/checkpoint"
 	"dnsddos/internal/clock"
 	"dnsddos/internal/core"
+	"dnsddos/internal/daystore"
 	"dnsddos/internal/nsset"
 	"dnsddos/internal/obs"
 	"dnsddos/internal/openintel"
@@ -67,6 +68,19 @@ type options struct {
 	shardBits int
 	// legacyJoin selects the historical linear-scan join engine.
 	legacyJoin bool
+	// daystoreDir, when non-empty, switches the run to the out-of-core
+	// day path (DESIGN §3.9): every completed day-shard is sealed as a
+	// columnar file in this directory instead of being merged into the
+	// run aggregator, and the join reads the sealed files through
+	// core.WithDayStore — flat RSS at millions-of-domains scale. With a
+	// checkpoint directory, day records become content-hash references
+	// to the sealed files, and a resume verifies each referenced file
+	// before trusting it.
+	daystoreDir string
+	// inMemoryDays forces the aggregator-backed join day store even when
+	// daystoreDir is set: days are sealed AND merged, and the join reads
+	// the in-memory path — the parity-testing escape hatch.
+	inMemoryDays bool
 	// skipJoin builds the join pipeline but skips the final batch
 	// classify+join pass: Study.Classified and Study.Events stay empty.
 	// The streaming service uses this — it joins window-by-window itself
@@ -86,6 +100,9 @@ func (o *options) pipelineOptions() []core.Option {
 	}
 	if o.legacyJoin {
 		extra = append(extra, core.WithLegacyJoin())
+	}
+	if o.inMemoryDays {
+		extra = append(extra, core.WithInMemoryDays())
 	}
 	return extra
 }
@@ -145,6 +162,28 @@ func WithShardBits(bits int) Option {
 // instead of the interval-indexed sharded engine.
 func WithLegacyJoin() Option {
 	return func(o *options) { o.legacyJoin = true }
+}
+
+// WithDayStoreDir seals every completed day-shard into a columnar day
+// file in dir (internal/daystore) and joins against the sealed files
+// through core.WithDayStore instead of merging day snapshots into one
+// in-memory aggregator — the out-of-core path that keeps RSS flat at
+// millions-of-domains scale. A fresh run clears stale sealed files from
+// dir; combined with WithCheckpointDir, completed days are journaled as
+// content-hash references (checkpoint.DayRef) and WithResume verifies
+// every referenced file before trusting it, refusing the resume with a
+// typed daystore.ErrCorrupt error on any mismatch. Output is
+// byte-identical to the in-memory path (TestJoinParityColumnar).
+func WithDayStoreDir(dir string) Option {
+	return func(o *options) { o.daystoreDir = dir }
+}
+
+// WithInMemoryDays overrides WithDayStoreDir and runs the historical
+// in-memory day path (days merged into the run aggregator, join reading
+// core's aggregator-backed store) — the parity-testing escape hatch,
+// mirroring WithLegacyJoin.
+func WithInMemoryDays() Option {
+	return func(o *options) { o.inMemoryDays = true }
 }
 
 // WithSkipJoin skips the final batch classify+join pass (Study.Classified
@@ -223,6 +262,10 @@ func RunContext(ctx context.Context, cfg Config, optFns ...Option) (*Study, erro
 	for _, o := range optFns {
 		o(&opts)
 	}
+	if opts.inMemoryDays {
+		// Escape hatch: the full historical in-memory path, sealing nothing.
+		opts.daystoreDir = ""
+	}
 	s := &Study{Config: cfg, Metrics: opts.metrics}
 	if s.Metrics == nil {
 		s.Metrics = obs.New()
@@ -248,16 +291,44 @@ func RunContext(ctx context.Context, cfg Config, optFns ...Option) (*Study, erro
 			if ckpt, err = checkpoint.Resume(opts.checkpointDir, hdr); err != nil {
 				return nil, err
 			}
-			snaps, err := ckpt.LoadDays(cfg.FromDay, cfg.ToDay)
-			if err != nil {
-				return nil, err
+			if opts.daystoreDir != "" {
+				// Out-of-core resume: day records are content-hash
+				// references to sealed column files. Verify every
+				// referenced file before trusting it — a swapped or
+				// rotted seal is refused (daystore.ErrCorrupt), never
+				// silently re-aggregated. No re-aggregation happens at
+				// all: the join reads the sealed files directly.
+				refs, err := ckpt.LoadDayRefs(cfg.FromDay, cfg.ToDay)
+				if err != nil {
+					return nil, err
+				}
+				for d, ref := range refs {
+					if err := daystore.VerifyFile(opts.daystoreDir, ref.File, ref.SHA256); err != nil {
+						return nil, fmt.Errorf("study: resuming day %s: %w", d, err)
+					}
+					done[d] = true
+				}
+				s.Report.ResumedDays = len(refs)
+			} else {
+				snaps, err := ckpt.LoadDays(cfg.FromDay, cfg.ToDay)
+				if err != nil {
+					return nil, err
+				}
+				for d, snap := range snaps {
+					s.Agg.AddSnapshot(snap)
+					done[d] = true
+				}
+				s.Report.ResumedDays = len(snaps)
 			}
-			for d, snap := range snaps {
-				s.Agg.AddSnapshot(snap)
-				done[d] = true
-			}
-			s.Report.ResumedDays = len(snaps)
 		} else if ckpt, err = checkpoint.Create(opts.checkpointDir, hdr); err != nil {
+			return nil, err
+		}
+	}
+	if opts.daystoreDir != "" && len(done) == 0 {
+		// Fresh out-of-core run (or a resume that restored nothing):
+		// sealed files from previous runs are stale state, like the
+		// checkpoint Create cleanup.
+		if err := daystore.Clear(opts.daystoreDir); err != nil {
 			return nil, err
 		}
 	}
@@ -269,7 +340,15 @@ func RunContext(ctx context.Context, cfg Config, optFns ...Option) (*Study, erro
 	stage("sweep", t0)
 
 	t0 = time.Now()
-	s.Pipeline = sess.NewPipeline(s.Agg, s.Report.QuarantinedDays(), s.Metrics, opts.pipelineOptions()...)
+	pipeOpts := opts.pipelineOptions()
+	if opts.daystoreDir != "" {
+		set, err := daystore.Open(opts.daystoreDir)
+		if err != nil {
+			return nil, err
+		}
+		pipeOpts = append(pipeOpts, core.WithDayStore(set))
+	}
+	s.Pipeline = sess.NewPipeline(s.Agg, s.Report.QuarantinedDays(), s.Metrics, pipeOpts...)
 	if !opts.skipJoin {
 		s.Classified = s.Pipeline.Classify(s.Attacks)
 		var err error
@@ -391,15 +470,38 @@ dispatch:
 			case skipped != nil:
 				s.Report.SkippedDays = append(s.Report.SkippedDays, *skipped)
 			case agg != nil:
-				if ckpt != nil && ckptErr == nil {
-					wstart := time.Now()
-					if err := ckpt.WriteDay(day, agg.Snapshot()); err != nil {
-						ckptErr = err
-						return
+				if opts.daystoreDir != "" {
+					// Out-of-core path: seal the day to disk and drop the
+					// structs — the join reads the sealed file, so the run
+					// aggregator never grows with completed days (flat
+					// RSS). The checkpoint, when enabled, records only a
+					// content-hash reference to the seal.
+					if ckptErr == nil {
+						wstart := time.Now()
+						ref, err := daystore.SealDay(opts.daystoreDir, day, agg.Snapshot())
+						if err != nil {
+							ckptErr = err
+							return
+						}
+						if ckpt != nil {
+							if err := ckpt.WriteDayRef(day, checkpoint.DayRef{File: ref.Name, SHA256: ref.SHA256}); err != nil {
+								ckptErr = err
+								return
+							}
+						}
+						s.Metrics.Histogram("study.daystore_seal_wall", obs.Volatile()).Observe(time.Since(wstart))
 					}
-					s.Metrics.Histogram("study.checkpoint_write_wall", obs.Volatile()).Observe(time.Since(wstart))
+				} else {
+					if ckpt != nil && ckptErr == nil {
+						wstart := time.Now()
+						if err := ckpt.WriteDay(day, agg.Snapshot()); err != nil {
+							ckptErr = err
+							return
+						}
+						s.Metrics.Histogram("study.checkpoint_write_wall", obs.Volatile()).Observe(time.Since(wstart))
+					}
+					s.Agg.Merge(agg)
 				}
-				s.Agg.Merge(agg)
 				s.Metrics.Merge(sreg)
 				s.Report.CompletedDays++
 			}
